@@ -1,0 +1,29 @@
+# Convenience targets for the repro-lrd repository.
+
+PYTHON ?= python
+
+.PHONY: install test bench figures examples clean
+
+install:
+	$(PYTHON) -m pip install -e .[test]
+
+test:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+# Regenerate every paper figure as a quick-mode table under benchmarks/results/quick/
+figures:
+	for n in 2 3 4 5 6 7 8 9 10 11 12 13 14; do \
+		$(PYTHON) -m repro figure $$n --quick --out benchmarks/results/quick/fig$$n.txt; \
+	done
+
+examples:
+	for script in examples/*.py; do \
+		echo "== $$script"; $(PYTHON) $$script; \
+	done
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

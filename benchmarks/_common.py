@@ -1,0 +1,32 @@
+"""Shared helpers for the figure benchmarks.
+
+Each benchmark regenerates one paper figure's data, prints it as the rows
+the paper plots, and persists the table under ``benchmarks/results/`` so
+EXPERIMENTS.md can reference stable artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+# Trace length shared by all benchmarks; long enough for stable statistics,
+# short enough to keep a full run in the minutes range.  (The paper's traces
+# are 107 892 and 360 000 samples.)
+TRACE_BINS = 32768
+
+
+def persist(name: str, text: str) -> None:
+    """Print a report and store it as ``benchmarks/results/<name>.txt``."""
+    print()
+    print(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text if text.endswith("\n") else text + "\n")
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,111 @@
+"""Solver ablations (Section II engineering claims).
+
+Two of the paper's implementation notes are measurable:
+
+* FFT convolution reduces the per-step cost from O(M^2) to O(M log M) —
+  we time both engines at a large bin count (`use_fft` config knob);
+* carrying the distributions over when doubling M (footnote 3)
+  "considerably increases the efficiency" vs cold-restarting the recursion
+  at the finer grid — we count iterations both ways.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from _common import persist, run_once
+from repro.core.marginal import DiscreteMarginal
+from repro.core.solver import SolverConfig, _BoundedChains
+from repro.core.source import CutoffFluidSource
+from repro.core.truncated_pareto import TruncatedPareto
+from repro.core.workload import WorkloadLaw
+from repro.experiments.reporting import format_mapping
+
+
+def _source() -> CutoffFluidSource:
+    return CutoffFluidSource(
+        marginal=DiscreteMarginal(rates=[0.0, 2.0], probs=[0.5, 0.5]),
+        interarrival=TruncatedPareto(theta=0.1, alpha=1.4, cutoff=5.0),
+    )
+
+
+def _chains(bins: int, use_fft: bool) -> _BoundedChains:
+    return _BoundedChains(
+        workload=WorkloadLaw(source=_source(), service_rate=1.25),
+        buffer_size=1.0,
+        bins=bins,
+        use_fft=use_fft,
+    )
+
+
+def test_ablation_fft_vs_direct(benchmark):
+    bins, steps = 2048, 40
+
+    def run():
+        timings = {}
+        for use_fft in (True, False):
+            chains = _chains(bins, use_fft)
+            start = time.perf_counter()
+            chains.iterate(steps)
+            timings["fft" if use_fft else "direct"] = time.perf_counter() - start
+        return timings
+
+    timings = run_once(benchmark, run)
+    speedup = timings["direct"] / timings["fft"]
+    persist(
+        "ablation_fft_vs_direct",
+        format_mapping(
+            {
+                "bins": float(bins),
+                "steps": float(steps),
+                "fft_seconds": timings["fft"],
+                "direct_seconds": timings["direct"],
+                "speedup": speedup,
+            },
+            "Ablation — FFT vs direct convolution (paper: O(M log M) vs O(M^2))",
+        ),
+    )
+    assert speedup > 1.5  # FFT must clearly win at M = 2048
+
+
+def test_ablation_refinement_carry_over(benchmark):
+    """Footnote 3: warm-started refinement converges in fewer fine-grid steps."""
+    tolerance = 0.08  # relative gap target, reachable at the fine grid (M=128)
+
+    def fine_steps_needed(chains) -> int:
+        steps = 0
+        while steps < 20_000:
+            chains.iterate(25)
+            steps += 25
+            lower, upper = chains.loss_bounds()
+            mid = 0.5 * (lower + upper)
+            if mid > 0.0 and (upper - lower) <= tolerance * mid:
+                break
+        return steps
+
+    def run():
+        # Warm start: iterate at M=64, then refine carrying the pmfs over.
+        warm = _chains(64, True)
+        warm.iterate(600)
+        warm_refined = warm.refined()
+        warm_steps = fine_steps_needed(warm_refined)
+        # Cold start: begin directly at M=128 from empty/full.
+        cold = _chains(128, True)
+        cold_steps = fine_steps_needed(cold)
+        return warm_steps, cold_steps
+
+    warm_steps, cold_steps = run_once(benchmark, run)
+    persist(
+        "ablation_refinement_carry_over",
+        format_mapping(
+            {
+                "fine_grid_steps_warm_started": float(warm_steps),
+                "fine_grid_steps_cold_started": float(cold_steps),
+                "saving_factor": cold_steps / max(warm_steps, 1),
+            },
+            "Ablation — bin-doubling carry-over (footnote 3) vs cold restart",
+        ),
+    )
+    assert warm_steps <= cold_steps

@@ -1,0 +1,77 @@
+"""Section I ablation — non-stationary SRD data reads as LRD.
+
+The paper's introduction recounts the debate: observed LRD "may be due to
+non-stationarity in the data caused by the superposition of level shifts
+or Dirac pulses with short range dependent stationary processes".  This
+benchmark quantifies the confusion: the same Hurst estimators that
+correctly report H ~ 0.5 on a stationary AR(1) report H well above 0.5
+when slow level shifts, a hyperbolic trend, or rare durational bursts are
+added — while a genuine fGn path at H = 0.8 is estimated correctly.
+
+The paper's resolution is methodological: instead of arguing about the
+*origin* of the measured correlation, quantify how much of it a finite
+buffer can see (the correlation horizon).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _common import persist, run_once
+from repro.analysis.hurst import periodogram_hurst, variance_time_hurst
+from repro.analysis.whittle import whittle_hurst
+from repro.traffic.fgn import generate_fgn
+from repro.traffic.spurious import (
+    ar1_process,
+    dirac_pulse_process,
+    hyperbolic_trend_process,
+    level_shift_process,
+)
+
+LENGTH = 32768
+
+
+def test_ablation_spurious_lrd(benchmark):
+    def run():
+        cases = {
+            "ar1 (truth 0.5)": ar1_process(LENGTH, 0.3, np.random.default_rng(1)),
+            "fgn H=0.8 (truth 0.8)": generate_fgn(LENGTH, 0.8, np.random.default_rng(2)),
+            "ar1+level shifts": level_shift_process(LENGTH, np.random.default_rng(3)),
+            "ar1+hyperb. trend": hyperbolic_trend_process(
+                LENGTH, np.random.default_rng(4), trend_scale=5.0
+            ),
+            "ar1+durational bursts": dirac_pulse_process(LENGTH, np.random.default_rng(5)),
+        }
+        rows = {}
+        for name, series in cases.items():
+            rows[name] = (
+                variance_time_hurst(series).hurst,
+                periodogram_hurst(series).hurst,
+                whittle_hurst(series).hurst,
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    header = f"{'series':<24} | {'var-time':>9} | {'GPH':>9} | {'Whittle':>9}"
+    lines = [
+        "Ablation — spurious LRD from non-stationary SRD data (paper Section I)",
+        header,
+        "-" * len(header),
+    ]
+    for name, (vt, gph, wh) in rows.items():
+        lines.append(f"{name:<24} | {vt:9.3f} | {gph:9.3f} | {wh:9.3f}")
+    lines.append("")
+    lines.append(
+        "All three confounders are SRD or non-stationary, yet at least one "
+        "estimator reports H >> 0.5 for each — the ambiguity the correlation "
+        "horizon sidesteps."
+    )
+    persist("ablation_spurious_lrd", "\n".join(lines))
+
+    # Sanity: clean SRD stays near 0.5, genuine fGn is recovered, and every
+    # confounder fools at least one estimator by >= 0.15.
+    assert abs(rows["ar1 (truth 0.5)"][0] - 0.5) < 0.1
+    assert abs(rows["fgn H=0.8 (truth 0.8)"][2] - 0.8) < 0.08
+    baseline = max(rows["ar1 (truth 0.5)"])
+    for name in ("ar1+level shifts", "ar1+hyperb. trend", "ar1+durational bursts"):
+        assert max(rows[name]) > baseline + 0.1, name

@@ -1,0 +1,42 @@
+"""Fig. 2 — convergence of the discrete occupancy bounds (n = 5/10/30, M = 100)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _common import TRACE_BINS, persist, run_once
+from repro.experiments.figures import fig02_bounds_convergence
+from repro.experiments.reporting import format_series
+
+
+def test_fig02_bounds_convergence(benchmark):
+    snapshots = run_once(
+        benchmark,
+        lambda: fig02_bounds_convergence(checkpoints=(5, 10, 30), bins=100, n_frames=TRACE_BINS),
+    )
+    # The paper plots the two cdfs per n; report the cdf at a few grid
+    # points plus the summary means.
+    grid = snapshots[0].grid
+    picks = np.linspace(0, grid.size - 1, 9).astype(int)
+    sections = []
+    for snap in snapshots:
+        sections.append(
+            format_series(
+                "occupancy",
+                grid[picks],
+                {
+                    "lower_cdf": snap.lower_cdf[picks],
+                    "upper_cdf": snap.upper_cdf[picks],
+                },
+                f"Fig. 2 — bound cdfs after n = {snap.iterations} iterations (M = 100)",
+            )
+        )
+    means = "\n".join(
+        f"n={snap.iterations:3d}: mean occupancy in "
+        f"[{snap.lower_mean:.4f}, {snap.upper_mean:.4f}] "
+        f"(gap {snap.upper_mean - snap.lower_mean:.4f})"
+        for snap in snapshots
+    )
+    persist("fig02_bounds_convergence", "\n\n".join(sections) + "\n\n" + means)
+    gaps = [s.upper_mean - s.lower_mean for s in snapshots]
+    assert gaps[0] >= gaps[-1] - 1e-12

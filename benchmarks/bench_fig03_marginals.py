@@ -1,0 +1,30 @@
+"""Fig. 3 — marginal distributions of the MTV and Bellcore traces."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _common import TRACE_BINS, persist, run_once
+from repro.experiments.figures import fig03_marginals
+from repro.experiments.reporting import format_mapping, format_series
+
+
+def test_fig03_marginals(benchmark):
+    data = run_once(benchmark, lambda: fig03_marginals(TRACE_BINS))
+    sections = [
+        format_mapping(data.mtv_summary, "Fig. 3 — MTV-synthetic marginal summary"),
+        format_mapping(data.bellcore_summary, "Fig. 3 — Bellcore-synthetic marginal summary"),
+    ]
+    for name, marginal in (("MTV", data.mtv), ("Bellcore", data.bellcore)):
+        picks = np.linspace(0, marginal.size - 1, min(12, marginal.size)).astype(int)
+        sections.append(
+            format_series(
+                "rate_mbps",
+                marginal.rates[picks],
+                {"probability": marginal.probs[picks]},
+                f"{name} histogram (subsampled rows of the 50-bin marginal)",
+            )
+        )
+    persist("fig03_marginals", "\n\n".join(sections))
+    # The paper's qualitative contrast: Bellcore is far wider than MTV.
+    assert data.bellcore_summary["cv"] > data.mtv_summary["cv"]

@@ -1,0 +1,26 @@
+"""Fig. 4 — model loss vs (normalized buffer, cutoff lag), MTV, util 0.8."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _common import TRACE_BINS, persist, run_once
+from repro.core.horizon import empirical_horizon
+from repro.experiments.figures import fig04_loss_surface_mtv
+from repro.experiments.reporting import format_surface
+
+
+def test_fig04_loss_surface_mtv(benchmark):
+    surface = run_once(
+        benchmark,
+        lambda: fig04_loss_surface_mtv(buffer_points=6, cutoff_points=6, n_frames=TRACE_BINS),
+    )
+    text = format_surface(surface, "Fig. 4 — model loss, MTV-synthetic, utilization 0.8")
+    horizons = []
+    for i, buffer_seconds in enumerate(surface.rows):
+        horizon = empirical_horizon(surface.cols, surface.losses[i], relative_band=0.25)
+        horizons.append(f"buffer {buffer_seconds:g}s -> correlation horizon ~ {horizon:g}s")
+    persist("fig04_loss_surface_mtv", text + "\n\n" + "\n".join(horizons))
+    # Shape checks from the paper: loss decreasing in buffer, increasing in cutoff.
+    assert np.all(np.diff(surface.losses, axis=0) <= 1e-12)
+    assert np.all(np.diff(surface.losses, axis=1) >= -1e-12)

@@ -1,0 +1,24 @@
+"""Fig. 5 — model loss vs (normalized buffer, cutoff lag), Bellcore, util 0.4."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _common import TRACE_BINS, persist, run_once
+from repro.experiments.figures import fig05_loss_surface_bellcore
+from repro.experiments.reporting import format_surface
+
+
+def test_fig05_loss_surface_bellcore(benchmark):
+    surface = run_once(
+        benchmark,
+        lambda: fig05_loss_surface_bellcore(
+            buffer_points=6, cutoff_points=6, n_bins=TRACE_BINS
+        ),
+    )
+    persist(
+        "fig05_loss_surface_bellcore",
+        format_surface(surface, "Fig. 5 — model loss, Bellcore-synthetic, utilization 0.4"),
+    )
+    assert np.all(np.diff(surface.losses, axis=0) <= 1e-12)
+    assert np.all(np.diff(surface.losses, axis=1) >= -1e-12)

@@ -1,0 +1,39 @@
+"""Fig. 6 — external shuffling kills correlation beyond the block length."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _common import TRACE_BINS, persist, run_once
+from repro.experiments.figures import fig06_shuffle_decorrelation
+from repro.experiments.reporting import format_series
+
+
+def test_fig06_shuffle_decorrelation(benchmark):
+    data = run_once(
+        benchmark,
+        lambda: fig06_shuffle_decorrelation(
+            block_seconds=1.0, max_lag_seconds=8.0, n_frames=TRACE_BINS
+        ),
+    )
+    stride = max(1, data.lags_seconds.size // 16)
+    text = format_series(
+        "lag_s",
+        data.lags_seconds[::stride],
+        {
+            "original_acf": data.original_acf[::stride],
+            "shuffled_acf": data.shuffled_acf[::stride],
+        },
+        f"Fig. 6 — ACF before/after external shuffling (block = {data.block_seconds} s)",
+    )
+    persist("fig06_shuffle_decorrelation", text)
+    # Beyond twice the block length, shuffled correlation collapses.
+    tail = data.lags_seconds > 2 * data.block_seconds
+    assert np.mean(np.abs(data.shuffled_acf[tail])) < 0.5 * np.mean(
+        np.abs(data.original_acf[tail])
+    )
+    # Inside half a block, short-lag structure survives.
+    head = (data.lags_seconds > 0) & (data.lags_seconds < 0.5 * data.block_seconds)
+    np.testing.assert_allclose(
+        data.shuffled_acf[head], data.original_acf[head], atol=0.15
+    )

@@ -1,0 +1,26 @@
+"""Fig. 7 — shuffled-trace simulation loss vs (buffer, cutoff), MTV, util 0.8."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _common import TRACE_BINS, persist, run_once
+from repro.experiments.figures import fig07_shuffle_surface_mtv
+from repro.experiments.reporting import format_surface
+
+
+def test_fig07_shuffle_mtv(benchmark):
+    surface = run_once(
+        benchmark,
+        lambda: fig07_shuffle_surface_mtv(
+            buffer_points=6, cutoff_points=6, n_frames=TRACE_BINS
+        ),
+    )
+    persist(
+        "fig07_shuffle_mtv",
+        format_surface(
+            surface, "Fig. 7 — shuffled-trace simulation loss, MTV-synthetic, util 0.8"
+        ),
+    )
+    # Loss decreasing in buffer for every cutoff column.
+    assert np.all(np.diff(surface.losses, axis=0) <= 1e-12)

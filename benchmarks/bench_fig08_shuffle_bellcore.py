@@ -1,0 +1,25 @@
+"""Fig. 8 — shuffled-trace simulation loss vs (buffer, cutoff), Bellcore, util 0.4."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _common import TRACE_BINS, persist, run_once
+from repro.experiments.figures import fig08_shuffle_surface_bellcore
+from repro.experiments.reporting import format_surface
+
+
+def test_fig08_shuffle_bellcore(benchmark):
+    surface = run_once(
+        benchmark,
+        lambda: fig08_shuffle_surface_bellcore(
+            buffer_points=6, cutoff_points=6, n_bins=TRACE_BINS
+        ),
+    )
+    persist(
+        "fig08_shuffle_bellcore",
+        format_surface(
+            surface, "Fig. 8 — shuffled-trace simulation loss, Bellcore-synthetic, util 0.4"
+        ),
+    )
+    assert np.all(np.diff(surface.losses, axis=0) <= 1e-12)

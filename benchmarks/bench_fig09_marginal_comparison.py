@@ -1,0 +1,32 @@
+"""Fig. 9 — loss vs cutoff for the MTV and Bellcore marginals, all else equal."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _common import TRACE_BINS, persist, run_once
+from repro.experiments.figures import fig09_marginal_comparison
+from repro.experiments.reporting import format_series
+
+
+def test_fig09_marginal_comparison(benchmark):
+    data = run_once(
+        benchmark, lambda: fig09_marginal_comparison(cutoff_points=7, n_bins=TRACE_BINS)
+    )
+    text = format_series(
+        "cutoff_s",
+        data.cutoffs,
+        {"mtv": data.mtv_losses, "bellcore": data.bellcore_losses},
+        "Fig. 9 — marginal comparison (B = 1 s, util = 2/3, theta = 20 ms, H = 0.9)",
+    )
+    both = (data.mtv_losses > 0.0) & (data.bellcore_losses > 0.0)
+    if np.any(both):
+        decades = np.log10(data.bellcore_losses[both] / data.mtv_losses[both])
+        text += (
+            f"\n\nbellcore/mtv separation: {decades.min():.1f}-{decades.max():.1f} "
+            "orders of magnitude (paper: 'orders of magnitude differences')"
+        )
+    persist("fig09_marginal_comparison", text)
+    # The wide Bellcore marginal must lose at least 10x more wherever both
+    # marginals show loss.
+    assert np.all(data.bellcore_losses[both] >= 10.0 * data.mtv_losses[both])

@@ -1,0 +1,35 @@
+"""Fig. 11 — loss vs (Hurst parameter, number of superposed streams), MTV."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _common import TRACE_BINS, persist, run_once
+from repro.experiments.figures import fig11_hurst_vs_superposition
+from repro.experiments.reporting import format_surface
+
+
+def test_fig11_hurst_vs_superposition(benchmark):
+    surface = run_once(
+        benchmark,
+        lambda: fig11_hurst_vs_superposition(
+            hurst_points=5, max_streams=10, stream_points=5, n_frames=TRACE_BINS
+        ),
+    )
+    text = format_surface(
+        surface, "Fig. 11 — loss vs (H, superposed streams), MTV-synthetic, util 0.8"
+    )
+    mid = len(surface.rows) // 2
+    row = surface.losses[mid]
+    n5_index = int(np.argmin(np.abs(surface.cols - 5)))
+    if row[0] > 0 and row[n5_index] > 0:
+        gain = np.log10(row[0] / row[n5_index])
+        text += (
+            f"\n\nsuperposing ~5 streams cuts loss by {gain:.2f} decades at "
+            f"H = {surface.rows[mid]:g} (paper: 'more than an order of magnitude')"
+        )
+    persist("fig11_hurst_vs_superposition", text)
+    # Multiplexing gain: more streams, strictly less loss along each row.
+    assert np.all(np.diff(surface.losses, axis=1) <= 1e-12)
+    # Paper's quantitative claim: ~5 streams buys >= 1 decade.
+    assert row[n5_index] <= row[0] / 10.0 or row[0] == 0.0

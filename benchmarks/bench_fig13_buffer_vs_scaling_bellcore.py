@@ -1,0 +1,26 @@
+"""Fig. 13 — loss vs (normalized buffer, marginal scaling), Bellcore, util 0.4."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _common import TRACE_BINS, persist, run_once
+from repro.experiments.figures import fig13_buffer_vs_scaling_bellcore
+from repro.experiments.reporting import format_surface
+
+
+def test_fig13_buffer_vs_scaling_bellcore(benchmark):
+    surface = run_once(
+        benchmark,
+        lambda: fig13_buffer_vs_scaling_bellcore(
+            buffer_points=6, scaling_points=5, n_bins=TRACE_BINS
+        ),
+    )
+    persist(
+        "fig13_buffer_vs_scaling_bellcore",
+        format_surface(
+            surface, "Fig. 13 — loss vs (buffer, marginal scaling), Bellcore-synthetic, util 0.4"
+        ),
+    )
+    assert np.all(np.diff(surface.losses, axis=1) >= -1e-12)
+    assert np.all(np.diff(surface.losses, axis=0) <= 1e-12)

@@ -1,0 +1,72 @@
+"""Performance — solver step cost scales like O(M log M), not O(M^2).
+
+The paper: FFT "reduces the computational complexity from O(M^2) to
+O(M log M)".  This benchmark times a fixed number of convolution steps at
+geometrically growing bin counts for both engines and fits the empirical
+scaling exponents: the FFT engine should grow roughly linearly in M (the
+log factor is invisible over this range), the direct engine roughly
+quadratically.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from _common import persist, run_once
+from repro.core.marginal import DiscreteMarginal
+from repro.core.solver import _BoundedChains
+from repro.core.source import CutoffFluidSource
+from repro.core.truncated_pareto import TruncatedPareto
+from repro.core.workload import WorkloadLaw
+from repro.experiments.reporting import format_series
+
+BINS = np.array([256, 512, 1024, 2048, 4096])
+STEPS = 12
+
+
+def _timed_steps(bins: int, use_fft: bool) -> float:
+    source = CutoffFluidSource(
+        marginal=DiscreteMarginal(rates=[0.0, 2.0], probs=[0.5, 0.5]),
+        interarrival=TruncatedPareto(theta=0.1, alpha=1.4, cutoff=5.0),
+    )
+    chains = _BoundedChains(
+        workload=WorkloadLaw(source=source, service_rate=1.25),
+        buffer_size=1.0,
+        bins=bins,
+        use_fft=use_fft,
+    )
+    chains.iterate(2)  # warm the caches
+    start = time.perf_counter()
+    chains.iterate(STEPS)
+    return (time.perf_counter() - start) / STEPS
+
+
+def test_perf_solver_scaling(benchmark):
+    def run():
+        fft_times = np.array([_timed_steps(int(m), True) for m in BINS])
+        direct_times = np.array([_timed_steps(int(m), False) for m in BINS])
+        return fft_times, direct_times
+
+    fft_times, direct_times = run_once(benchmark, run)
+
+    def scaling_exponent(times: np.ndarray) -> float:
+        return float(np.polyfit(np.log(BINS.astype(float)), np.log(times), 1)[0])
+
+    fft_exponent = scaling_exponent(fft_times)
+    direct_exponent = scaling_exponent(direct_times)
+    text = format_series(
+        "bins",
+        BINS.astype(float),
+        {"fft_s_per_step": fft_times, "direct_s_per_step": direct_times},
+        "Performance — per-step cost vs bin count",
+    )
+    text += (
+        f"\n\nempirical scaling exponents: FFT {fft_exponent:.2f} "
+        f"(theory ~1 + log factor), direct {direct_exponent:.2f} (theory ~2)"
+    )
+    persist("perf_solver_scaling", text)
+    assert direct_exponent > fft_exponent + 0.4
+    assert fft_exponent < 1.6
+    assert direct_exponent > 1.5

@@ -1,0 +1,67 @@
+"""ARQ vs FEC: when the correlation horizon does NOT apply (Section V).
+
+Run:  python examples/arq_vs_fec.py
+
+The paper's closing example: the amount of correlation a model must carry
+depends on the *performance question*.  For finite-buffer loss rates a
+correlation horizon exists; for comparing error-control schemes it does
+not — "extending the time-scale of the correlation structure ... amounts
+to increasing the advantage of ARQ over FEC", so a self-similar model is
+the right tool there.
+
+This example drives per-packet losses from the model queue, applies an
+(n, k) erasure code and a burst-aware ARQ model, and sweeps the cutoff
+lag: raw loss saturates at the correlation horizon, but the FEC/ARQ
+comparison keeps shifting as correlation extends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.error_control import compare_error_control
+from repro.core.marginal import DiscreteMarginal
+from repro.core.source import CutoffFluidSource
+from repro.experiments.reporting import format_series
+
+
+def main() -> None:
+    marginal = DiscreteMarginal.two_state(low=0.0, high=2.0, prob_high=0.5)
+    source = CutoffFluidSource.from_hurst(
+        marginal=marginal, hurst=0.8, mean_interval=0.05, cutoff=10.0
+    )
+    rng = np.random.default_rng(5)
+    cutoffs = np.logspace(-1, 1.5, 6)
+    comparison = compare_error_control(
+        source,
+        utilization=0.75,
+        normalized_buffer=0.1,
+        cutoffs=cutoffs,
+        rng=rng,
+        n_packets=200_000,
+        block_length=32,
+        parity=8,
+    )
+
+    recovery = 1.0 - comparison.fec_residual / np.maximum(comparison.raw_loss, 1e-12)
+    rounds_per_loss = comparison.arq_overhead / np.maximum(comparison.raw_loss, 1e-12)
+    print(format_series(
+        "cutoff_s",
+        comparison.cutoffs,
+        {
+            "raw_loss": comparison.raw_loss,
+            "fec_residual": comparison.fec_residual,
+            "fec_recovered": recovery,
+            "arq_rounds/loss": rounds_per_loss,
+            "mean_burst": comparison.mean_burst,
+        },
+        "ARQ vs FEC (32,24 erasure code) as correlation extends",
+    ))
+    print("\nRaw loss saturates at the correlation horizon — but the FEC")
+    print("recovery fraction keeps FALLING and ARQ keeps amortizing more")
+    print("losses per round as bursts lengthen.  For this question there is")
+    print("no correlation horizon: a self-similar model is appropriate.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Buffering vs multiplexing vs shaping: the paper's engineering advice.
+
+Run:  python examples/buffering_vs_multiplexing.py
+
+Section IV: "Adjusting the marginal scaling factor by statistical
+multiplexing several streams or by using source traffic control mechanisms
+is a very efficient way of reducing loss while keeping utilization high" —
+while "for long-range dependent traffic, increasing the buffer size has
+little impact."  This example quantifies all three levers on the same
+LRD workload:
+
+* grow the buffer 50x (0.1 s -> 5 s);
+* multiplex 5 streams (n-fold convolution of the marginal);
+* shape the source to half its rate spread (scaling factor 0.5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.solver import solve_loss_rate
+from repro.experiments.reporting import format_mapping
+from repro.traffic.video import synthesize_mtv_trace
+
+UTILIZATION = 0.8
+CUTOFF = 50.0  # long correlation: 50 s of memory
+
+
+def main() -> None:
+    trace = synthesize_mtv_trace(n_frames=16384)
+    source = trace.to_source(hurst=0.83, cutoff=CUTOFF)
+    print(trace)
+    print(f"workload: H = 0.83, cutoff = {CUTOFF:g} s, utilization = {UTILIZATION}\n")
+
+    baseline = solve_loss_rate(source, UTILIZATION, 0.1).estimate
+
+    # Lever 1: buffering. 50x more buffer.
+    buffered = solve_loss_rate(source, UTILIZATION, 5.0).estimate
+
+    # Lever 2: statistical multiplexing. 5 streams, per-stream B and c fixed.
+    multiplexed_source = source.with_marginal(source.marginal.superposed(5))
+    multiplexed = solve_loss_rate(multiplexed_source, UTILIZATION, 0.1).estimate
+
+    # Lever 3: source shaping. Halve the marginal spread around the mean.
+    shaped_source = source.with_marginal(source.marginal.scaled(0.5))
+    shaped = solve_loss_rate(shaped_source, UTILIZATION, 0.1).estimate
+
+    def decades(value: float) -> float:
+        return float(np.log10(max(baseline, 1e-15) / max(value, 1e-15)))
+
+    print(format_mapping(
+        {
+            "baseline_loss (B=0.1s)": baseline,
+            "50x buffer (B=5s)": buffered,
+            "5-way multiplexing (B=0.1s)": multiplexed,
+            "0.5x marginal shaping (B=0.1s)": shaped,
+        },
+        "Loss rate under each lever",
+    ))
+    print()
+    print(format_mapping(
+        {
+            "decades gained by 50x buffer": decades(buffered),
+            "decades gained by 5-way muxing": decades(multiplexed),
+            "decades gained by 0.5x shaping": decades(shaped),
+        },
+        "Improvement over the baseline (orders of magnitude)",
+    ))
+    print("\nWith correlation over many time scales, working on the marginal")
+    print("(multiplexing, shaping) beats buying buffer — the paper's conclusion.")
+
+
+if __name__ == "__main__":
+    main()

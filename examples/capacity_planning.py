@@ -1,0 +1,78 @@
+"""Capacity planning with the loss solver: effective bandwidth and mux gain.
+
+Run:  python examples/capacity_planning.py
+
+Turns the paper's Section IV advice into dimensioning numbers for an
+LRD video-like workload:
+
+1. *effective bandwidth* — the service rate a single stream needs for a
+   1e-6 loss target, at several buffer sizes (buffering helps little);
+2. *buffer sizing* — the buffer a fixed-utilization link would need
+   (often unattainable for long-correlation traffic);
+3. *multiplexing gain* — how the per-stream bandwidth requirement falls
+   and the achievable utilization rises as streams are multiplexed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.reporting import format_series
+from repro.queueing.dimensioning import (
+    multiplexing_gain,
+    required_buffer,
+    required_service_rate,
+)
+from repro.traffic.video import synthesize_mtv_trace
+
+TARGET_LOSS = 1e-6
+CUTOFF = 30.0
+
+
+def main() -> None:
+    trace = synthesize_mtv_trace(n_frames=16384)
+    source = trace.to_source(hurst=0.83, cutoff=CUTOFF)
+    mean = source.mean_rate
+    print(trace)
+    print(f"target loss {TARGET_LOSS:g}, correlation up to {CUTOFF:g} s\n")
+
+    buffers = np.array([0.01, 0.1, 1.0, 5.0])
+    bandwidths = np.array(
+        [required_service_rate(source, float(b), TARGET_LOSS) for b in buffers]
+    )
+    print(format_series(
+        "buffer_s", buffers,
+        {"eff_bw_mbps": bandwidths, "utilization": mean / bandwidths},
+        "1. Effective bandwidth of one stream vs buffer size",
+    ))
+    print("   -> a 500x buffer increase buys only a few percent of bandwidth:")
+    print("      buffering is a weak lever against long correlation.\n")
+
+    for utilization in (0.7, 0.85):
+        needed = required_buffer(
+            source, utilization=utilization, target_loss=TARGET_LOSS,
+            max_normalized_buffer=30.0,
+        )
+        rendered = f"{needed:.2f} s" if needed is not None else "UNREACHABLE with 30 s"
+        print(f"2. buffer needed at utilization {utilization:.2f}: {rendered}")
+    print()
+
+    gain = multiplexing_gain(
+        source, normalized_buffer=0.1, target_loss=TARGET_LOSS,
+        streams=np.array([1, 2, 4, 8, 16]),
+    )
+    print(format_series(
+        "streams", gain.streams.astype(float),
+        {
+            "per_stream_bw": gain.per_stream_bandwidth,
+            "utilization": gain.utilization,
+        },
+        "3. Multiplexing gain (per-stream service, 0.1 s per-stream buffer)",
+    ))
+    print("\nMultiplexing drives the per-stream requirement toward the mean")
+    print("rate — the paper's 'achieve high utilization while keeping loss")
+    print("low' lever, quantified.")
+
+
+if __name__ == "__main__":
+    main()

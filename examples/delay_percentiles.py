@@ -1,0 +1,68 @@
+"""Delay percentiles from the occupancy-bound distributions.
+
+Run:  python examples/delay_percentiles.py
+
+Loss is the paper's headline metric, but the same bounded solver yields
+the stationary queue-occupancy distribution — and occupancy over service
+rate is queueing delay.  This example computes bracketed delay
+percentiles for a video source, and shows how the correlation cutoff
+moves the *tail* percentiles much more than the median: long-range
+correlation is a tail phenomenon in delay too.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.solver import FluidQueue, SolverConfig
+from repro.experiments.reporting import format_series
+from repro.traffic.video import synthesize_mtv_trace
+
+UTILIZATION = 0.8
+BUFFER_SECONDS = 2.0
+PERCENTILES = (0.5, 0.9, 0.99)
+CUTOFFS = (0.5, 5.0, 50.0)
+
+
+def main() -> None:
+    trace = synthesize_mtv_trace(n_frames=16384)
+    source = trace.to_source(hurst=0.83)
+    print(trace)
+    print(f"utilization {UTILIZATION}, buffer {BUFFER_SECONDS} s\n")
+
+    # Percentiles read the occupancy *distribution*, so resolve it finely.
+    config = SolverConfig(initial_bins=512, relative_gap=0.05)
+    rows: dict[str, list[float]] = {f"p{int(100 * p)}_delay_ms": [] for p in PERCENTILES}
+    rows["reset_prob"] = []
+    for cutoff in CUTOFFS:
+        queue = FluidQueue.from_normalized(
+            source=source.with_cutoff(cutoff),
+            utilization=UTILIZATION,
+            normalized_buffer=BUFFER_SECONDS,
+        )
+        bounds = queue.stationary_occupancy(config)
+        for p in PERCENTILES:
+            low, high = bounds.quantile(p)
+            # Midpoint of the bracket, converted to milliseconds of delay.
+            rows[f"p{int(100 * p)}_delay_ms"].append(
+                0.5 * (low + high) / queue.service_rate * 1e3
+            )
+        full_low, full_high = bounds.full_probability
+        empty_low, empty_high = bounds.empty_probability
+        rows["reset_prob"].append(
+            0.5 * (full_low + full_high) + 0.5 * (empty_low + empty_high)
+        )
+
+    print(format_series(
+        "cutoff_s",
+        np.asarray(CUTOFFS),
+        {name: np.asarray(values) for name, values in rows.items()},
+        "Delay percentiles (bracket midpoints) vs correlation cutoff",
+    ))
+    print("\nExtending the correlation cutoff inflates the p99 delay by")
+    print("multiples while the median and p90 barely move: long-range")
+    print("correlation is a tail phenomenon in delay, just as in loss.")
+
+
+if __name__ == "__main__":
+    main()

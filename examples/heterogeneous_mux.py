@@ -1,0 +1,83 @@
+"""Multiplexing *different* traffic classes on one link.
+
+Run:  python examples/heterogeneous_mux.py
+
+The paper's homogeneous-superposition experiment (Fig. 11) extends
+naturally to mixed traffic: what happens when a smooth video stream and a
+bursty Ethernet stream share a link?  The aggregate marginal is the
+convolution of the two (``DiscreteMarginal.convolved``), and the solver
+answers the engineering question directly: the smooth stream pays a loss
+penalty for sharing with the bursty one, but the *link* still comes out
+ahead of dedicating capacity per class.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.solver import solve_loss_rate
+from repro.core.source import CutoffFluidSource
+from repro.core.truncated_pareto import TruncatedPareto
+from repro.experiments.reporting import format_mapping
+from repro.traffic.ethernet import synthesize_bellcore_trace
+from repro.traffic.video import synthesize_mtv_trace
+
+CUTOFF = 20.0
+HURST = 0.85
+THETA = 0.02
+TARGET_UTILIZATION = 0.75
+BUFFER_SECONDS = 0.5
+
+
+def main() -> None:
+    video = synthesize_mtv_trace(n_frames=16384)
+    ethernet = synthesize_bellcore_trace(n_bins=16384).rescaled(video.mean_rate / 3.0)
+    law = TruncatedPareto(theta=THETA, alpha=3.0 - 2.0 * HURST, cutoff=CUTOFF)
+
+    video_marginal = video.marginal(50)
+    ethernet_marginal = ethernet.marginal(50)
+    mixed_marginal = video_marginal.convolved(ethernet_marginal, max_levels=120)
+
+    print(format_mapping(
+        {
+            "video mean": video_marginal.mean,
+            "video cv": video_marginal.std / video_marginal.mean,
+            "ethernet mean": ethernet_marginal.mean,
+            "ethernet cv": ethernet_marginal.std / ethernet_marginal.mean,
+            "mixed mean": mixed_marginal.mean,
+            "mixed cv": mixed_marginal.std / mixed_marginal.mean,
+        },
+        "Traffic classes (both at Hurst 0.85, cutoff 20 s)",
+    ))
+
+    losses = {}
+    for name, marginal in (
+        ("video alone", video_marginal),
+        ("ethernet alone", ethernet_marginal),
+        ("mixed on one link", mixed_marginal),
+    ):
+        source = CutoffFluidSource(marginal=marginal, interarrival=law)
+        result = solve_loss_rate(source, TARGET_UTILIZATION, BUFFER_SECONDS)
+        losses[name] = result.estimate
+    print()
+    print(format_mapping(
+        losses,
+        f"Loss at utilization {TARGET_UTILIZATION} with {BUFFER_SECONDS} s buffers",
+    ))
+
+    # Dedicated links: each class gets capacity mean/util and its own buffer.
+    # Shared link: the same *total* capacity carries the mixture.
+    dedicated_worst = max(losses["video alone"], losses["ethernet alone"])
+    shared = losses["mixed on one link"]
+    gain = math.log10(max(dedicated_worst, 1e-15) / max(shared, 1e-15))
+    print(f"\nshared vs worst dedicated class: {gain:+.2f} decades")
+    print("Sharing lets the smooth video absorb the Ethernet bursts: the")
+    print("aggregate marginal is relatively narrower (CV falls), so the same")
+    print("total capacity and buffer yield a lower loss rate — statistical")
+    print("multiplexing gain across heterogeneous classes.")
+
+
+if __name__ == "__main__":
+    main()

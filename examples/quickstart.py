@@ -1,0 +1,70 @@
+"""Quickstart: build a cutoff fluid source, solve a queue, find the horizon.
+
+Run:  python examples/quickstart.py
+
+Walks through the library's core loop in under a minute:
+1. define a two-state (on/off) rate marginal;
+2. attach a truncated-Pareto interval law via the Hurst parameter;
+3. solve the finite-buffer queue for the loss rate with rigorous bounds;
+4. sweep the cutoff lag and watch the loss saturate at the correlation
+   horizon — the paper's central phenomenon.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    CutoffFluidSource,
+    DiscreteMarginal,
+    FluidQueue,
+    correlation_horizon,
+    empirical_horizon,
+)
+from repro.experiments.reporting import format_series
+
+
+def main() -> None:
+    # An on/off source: silent half the time, bursting at 2 Mb/s otherwise,
+    # with Hurst parameter 0.8 and mean epoch duration 50 ms.
+    marginal = DiscreteMarginal.two_state(low=0.0, high=2.0, prob_high=0.5)
+    source = CutoffFluidSource.from_hurst(
+        marginal=marginal, hurst=0.8, mean_interval=0.05, cutoff=10.0
+    )
+    print(f"mean rate      : {source.mean_rate:.3f} Mb/s")
+    print(f"rate variance  : {source.rate_variance:.3f}")
+    print(f"alpha (tail)   : {source.interarrival.alpha:.3f}")
+    print(f"covariance at 1s / 5s / 10s: "
+          f"{source.autocovariance(1.0):.4f} / {source.autocovariance(5.0):.4f} / "
+          f"{source.autocovariance(10.0):.4f}")
+
+    # A queue at 80 % utilization with half a second of buffering.
+    queue = FluidQueue.from_normalized(source=source, utilization=0.8, normalized_buffer=0.5)
+    result = queue.loss_rate()
+    print(f"\nqueue: c = {queue.service_rate:.3f} Mb/s, B = {queue.buffer_size:.3f} Mb")
+    print(f"loss rate: {result}")
+
+    # Sweep the cutoff lag: loss grows with correlation, then saturates.
+    cutoffs = np.logspace(-1, 2, 8)
+    losses = []
+    for cutoff in cutoffs:
+        truncated = source.with_cutoff(float(cutoff))
+        losses.append(
+            FluidQueue.from_normalized(truncated, 0.8, 0.5).loss_rate().estimate
+        )
+    losses = np.array(losses)
+    print()
+    print(format_series("cutoff_s", cutoffs, {"loss": losses},
+                        "Loss vs cutoff lag (correlation horizon in action)"))
+
+    observed = empirical_horizon(cutoffs, losses, relative_band=0.25)
+    analytic = correlation_horizon(source.with_cutoff(float(cutoffs[-1])),
+                                   buffer_size=queue.buffer_size)
+    print(f"\nempirical correlation horizon : ~{observed:g} s")
+    print(f"Eq. 26 analytic estimate      : ~{analytic:.2f} s")
+    print("Correlation beyond the horizon does not change the loss rate —")
+    print("that is the paper's answer to 'does LRD matter?'.")
+
+
+if __name__ == "__main__":
+    main()

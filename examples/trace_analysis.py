@@ -1,0 +1,63 @@
+"""Trace characterization: Hurst estimation and model calibration.
+
+Run:  python examples/trace_analysis.py
+
+Reproduces the paper's Section III trace analysis on the synthetic
+substitutes: estimate the Hurst parameter with five independent
+estimators (variance-time, R/S, GPH periodogram, Whittle MLE, Abry-Veitch
+wavelets), extract the 50-bin marginal and the mean epoch duration, and
+report the calibrated fluid-model parameters (alpha, theta).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.histogram import marginal_summary
+from repro.analysis.hurst import periodogram_hurst, rs_hurst, variance_time_hurst
+from repro.analysis.wavelet import wavelet_hurst
+from repro.analysis.whittle import whittle_hurst
+from repro.experiments.reporting import format_mapping
+from repro.traffic.ethernet import synthesize_bellcore_trace
+from repro.traffic.trace import Trace
+from repro.traffic.video import synthesize_mtv_trace
+
+
+def characterize(trace: Trace, nominal_hurst: float) -> None:
+    print("=" * 72)
+    print(trace)
+    estimates = {
+        "variance-time": variance_time_hurst(trace.rates).hurst,
+        "R/S": rs_hurst(trace.rates).hurst,
+        "GPH periodogram": periodogram_hurst(trace.rates).hurst,
+        "Whittle MLE": whittle_hurst(trace.rates).hurst,
+        "wavelet (Haar)": wavelet_hurst(trace.rates).hurst,
+        "wavelet (db2)": wavelet_hurst(trace.rates, wavelet="db2").hurst,
+    }
+    estimates["(construction target)"] = nominal_hurst
+    print(format_mapping(estimates, "\nHurst estimates"))
+
+    marginal = trace.marginal(50)
+    print(format_mapping(marginal_summary(marginal), "\n50-bin marginal"))
+
+    epoch = trace.mean_epoch_duration(50)
+    source = trace.to_source(hurst=nominal_hurst)
+    print(format_mapping(
+        {
+            "mean_epoch_ms": epoch * 1e3,
+            "alpha": source.interarrival.alpha,
+            "theta_ms": source.interarrival.theta * 1e3,
+            "model_mean_rate": source.mean_rate,
+        },
+        "\nCalibrated fluid model (theta via Eq. 25 at T_c = inf)",
+    ))
+    print()
+
+
+def main() -> None:
+    characterize(synthesize_mtv_trace(n_frames=32768), nominal_hurst=0.83)
+    characterize(synthesize_bellcore_trace(n_bins=32768), nominal_hurst=0.9)
+    print("The two traces differ most in their marginals (compact video vs")
+    print("bursty Ethernet) — the property the paper shows dominates loss.")
+
+
+if __name__ == "__main__":
+    main()

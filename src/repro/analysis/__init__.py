@@ -1,0 +1,56 @@
+"""Statistics substrate: ACF, Hurst estimation, histogram/run-length tools."""
+
+from repro.analysis.acf import autocorrelation, autocovariance
+from repro.analysis.histogram import (
+    bin_indices,
+    coefficient_of_variation,
+    marginal_from_samples,
+    marginal_summary,
+    mean_run_length,
+    run_lengths,
+)
+from repro.analysis.hurst import (
+    HurstEstimate,
+    periodogram_hurst,
+    rs_hurst,
+    variance_time_hurst,
+)
+from repro.analysis.stationarity import (
+    SegmentSummary,
+    mean_drift_statistic,
+    segment_summary,
+)
+from repro.analysis.suite import HurstSuite, estimate_hurst_suite
+from repro.analysis.wavelet import (
+    WAVELET_FILTERS,
+    dwt_details,
+    logscale_diagram,
+    wavelet_hurst,
+)
+from repro.analysis.whittle import fgn_spectral_shape, whittle_hurst
+
+__all__ = [
+    "autocovariance",
+    "autocorrelation",
+    "HurstEstimate",
+    "variance_time_hurst",
+    "rs_hurst",
+    "periodogram_hurst",
+    "whittle_hurst",
+    "fgn_spectral_shape",
+    "HurstSuite",
+    "estimate_hurst_suite",
+    "SegmentSummary",
+    "segment_summary",
+    "mean_drift_statistic",
+    "wavelet_hurst",
+    "dwt_details",
+    "logscale_diagram",
+    "WAVELET_FILTERS",
+    "bin_indices",
+    "run_lengths",
+    "mean_run_length",
+    "marginal_from_samples",
+    "coefficient_of_variation",
+    "marginal_summary",
+]

@@ -1,0 +1,91 @@
+"""Segment-based stationarity diagnostics (the other side of Section I).
+
+If LRD estimates may be artifacts of non-stationarity (level shifts,
+trends — see :mod:`repro.traffic.spurious`), the practical question for a
+measured trace is: *does this series look stationary at all?*  The classic
+quick check splits the series into segments and compares segment
+statistics against what a stationary series of the measured correlation
+would produce.
+
+:func:`segment_summary` computes per-segment means/stds;
+:func:`mean_drift_statistic` normalizes the spread of segment means by
+the uncertainty implied by the series' own autocovariance, so a value
+near 1 is consistent with stationarity while values well above flag
+shifts or trends.  It is deliberately a *diagnostic*, not a test with
+exact size: with genuine LRD the segment-mean variance is inflated by the
+correlation itself, which the autocovariance normalization accounts for
+up to the measured lag range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.acf import autocovariance
+
+__all__ = ["SegmentSummary", "segment_summary", "mean_drift_statistic"]
+
+
+@dataclass(frozen=True)
+class SegmentSummary:
+    """Per-segment statistics of a series.
+
+    Attributes
+    ----------
+    means, stds:
+        Mean and standard deviation per segment (equal-length segments;
+        the remainder is dropped).
+    segment_length:
+        Samples per segment.
+    """
+
+    means: np.ndarray
+    stds: np.ndarray
+    segment_length: int
+
+
+def segment_summary(values: np.ndarray, segments: int = 8) -> SegmentSummary:
+    """Split a series into equal segments and summarize each."""
+    x = np.asarray(values, dtype=np.float64)
+    if x.ndim != 1:
+        raise ValueError("values must be 1-D")
+    if segments < 2:
+        raise ValueError(f"segments must be >= 2, got {segments}")
+    length = x.size // segments
+    if length < 2:
+        raise ValueError("series too short for this many segments")
+    blocks = x[: segments * length].reshape(segments, length)
+    return SegmentSummary(
+        means=blocks.mean(axis=1), stds=blocks.std(axis=1), segment_length=length
+    )
+
+
+def mean_drift_statistic(values: np.ndarray, segments: int = 8) -> float:
+    """Spread of segment means relative to the correlation-implied noise.
+
+    Computes ``Var[segment means]`` and divides by its stationary
+    prediction ``(1/L) * sum_{|k|<L} (1 - |k|/L) gamma(k)`` (the variance
+    of an L-sample mean under the measured autocovariance).  Values near 1
+    are consistent with stationarity; values >> 1 indicate mean drift that
+    the measured within-segment correlation cannot explain.
+    """
+    x = np.asarray(values, dtype=np.float64)
+    summary = segment_summary(x, segments)
+    length = summary.segment_length
+    observed = float(summary.means.var())
+    # Pool the *within-segment* autocovariance (each segment centered on its
+    # own mean) so slow drift between segments does not inflate the
+    # prediction it is being tested against.
+    blocks = x[: segments * length].reshape(segments, length)
+    max_lag = length - 1
+    gamma = np.zeros(max_lag + 1)
+    for block in blocks:
+        gamma += autocovariance(block, max_lag=max_lag)
+    gamma /= segments
+    lags = np.arange(length)
+    predicted = float(((1.0 - lags / length) * gamma).sum() * 2.0 - gamma[0]) / length
+    if predicted <= 0.0:
+        raise ValueError("degenerate series: predicted segment-mean variance is zero")
+    return observed / predicted

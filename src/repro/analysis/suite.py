@@ -1,0 +1,96 @@
+"""Run the whole Hurst-estimation suite at once.
+
+The paper characterizes each trace "using a Whittle or wavelet based
+estimator"; robust practice runs *several* estimators and inspects their
+spread, since each has different failure modes (trends fool R/S and
+variance-time, short-range structure biases GPH, marginal transforms
+perturb Whittle's Gaussian assumption).  :func:`estimate_hurst_suite`
+packages that practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.hurst import (
+    HurstEstimate,
+    periodogram_hurst,
+    rs_hurst,
+    variance_time_hurst,
+)
+from repro.analysis.wavelet import wavelet_hurst
+from repro.analysis.whittle import whittle_hurst
+
+__all__ = ["HurstSuite", "estimate_hurst_suite"]
+
+_ESTIMATORS = {
+    "variance-time": variance_time_hurst,
+    "rs": rs_hurst,
+    "periodogram": periodogram_hurst,
+    "whittle": whittle_hurst,
+    "wavelet": wavelet_hurst,
+}
+
+
+@dataclass(frozen=True)
+class HurstSuite:
+    """Results of every estimator on one series.
+
+    Attributes
+    ----------
+    estimates:
+        Mapping estimator name -> :class:`HurstEstimate` (estimators that
+        failed on this input are absent).
+    """
+
+    estimates: dict[str, HurstEstimate]
+
+    def __post_init__(self) -> None:
+        if not self.estimates:
+            raise ValueError("at least one estimator must have produced a result")
+
+    @property
+    def values(self) -> np.ndarray:
+        """Point estimates in a stable (name-sorted) order."""
+        return np.array([self.estimates[name].hurst for name in sorted(self.estimates)])
+
+    @property
+    def median(self) -> float:
+        """Median point estimate — the suite's headline number."""
+        return float(np.median(self.values))
+
+    @property
+    def spread(self) -> float:
+        """Max minus min across estimators.
+
+        A spread much above ~0.15 on a long series is a red flag for
+        non-stationarity (see :mod:`repro.traffic.spurious`).
+        """
+        return float(self.values.max() - self.values.min())
+
+    def summary(self) -> dict[str, float]:
+        """Flat name -> estimate mapping plus the median and spread."""
+        out = {name: est.hurst for name, est in sorted(self.estimates.items())}
+        out["median"] = self.median
+        out["spread"] = self.spread
+        return out
+
+
+def estimate_hurst_suite(values: np.ndarray) -> HurstSuite:
+    """Apply every estimator that accepts the series.
+
+    Estimators raising :class:`ValueError` (series too short for their
+    internal requirements) are skipped; at least one must succeed.
+    """
+    series = np.asarray(values, dtype=np.float64)
+    estimates: dict[str, HurstEstimate] = {}
+    for name, estimator in _ESTIMATORS.items():
+        try:
+            estimates[name] = estimator(series)
+        except ValueError:
+            continue
+    if not estimates:
+        raise ValueError("series unsuitable for every estimator (too short or constant)")
+    return HurstSuite(estimates=estimates)

@@ -1,0 +1,112 @@
+"""Whittle maximum-likelihood Hurst estimator for fractional Gaussian noise.
+
+The paper characterizes its traces "using a Whittle or wavelet based
+estimator"; this module provides the Whittle half.  The Whittle
+approximation to the Gaussian likelihood depends on the data only through
+the periodogram ``I(lambda_k)`` and on the model only through the spectral
+density shape ``f(lambda; H)``; profiling out the scale leaves the
+one-dimensional objective
+
+.. math:: Q(H) = \\log\\Big(\\tfrac1m \\sum_k \\frac{I(\\lambda_k)}{g(\\lambda_k; H)}\\Big)
+               + \\tfrac1m \\sum_k \\log g(\\lambda_k; H)
+
+minimized over ``H in (0.5, 1)`` with a bounded scalar optimizer.
+
+The fGn spectral shape involves the infinite sum
+``sum_j |lambda + 2 pi j|^{-2H-1}``; we evaluate it by direct summation up
+to ``J`` terms plus an integral tail correction, accurate to ~1e-10 for
+``J = 50``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import minimize_scalar
+
+from repro.analysis.hurst import HurstEstimate
+
+__all__ = ["fgn_spectral_shape", "whittle_hurst"]
+
+
+def fgn_spectral_shape(frequencies: np.ndarray, hurst: float, terms: int = 50) -> np.ndarray:
+    """Unnormalized fGn spectral density at angular frequencies in ``(0, pi]``.
+
+    ``g(lambda; H) = 2 (1 - cos lambda) * sum_{j=-J}^{J} |lambda + 2 pi j|^{-2H-1}``
+    plus an integral correction for the truncated tails.  Any constant
+    factor is irrelevant to the Whittle objective (the scale is profiled
+    out), so no normalization constant is applied.
+    """
+    lam = np.asarray(frequencies, dtype=np.float64)
+    if np.any((lam <= 0.0) | (lam > np.pi + 1e-12)):
+        raise ValueError("frequencies must lie in (0, pi]")
+    if not (0.0 < hurst < 1.0):
+        raise ValueError(f"hurst must lie in (0, 1), got {hurst}")
+    if terms < 1:
+        raise ValueError(f"terms must be >= 1, got {terms}")
+    exponent = -(2.0 * hurst + 1.0)
+    j = np.arange(-terms, terms + 1, dtype=np.float64)
+    grid = np.abs(lam[:, None] + 2.0 * np.pi * j[None, :]) ** exponent
+    series = grid.sum(axis=1)
+    # Integral tail: sum_{|j| > J} ~ (1/2pi) * int_{2 pi (J + 1/2)}^inf u^exponent du
+    # on each side, evaluated at +-lambda offsets.
+    edge = 2.0 * np.pi * (terms + 0.5)
+    tail = ((edge + lam) ** (exponent + 1.0) + (edge - lam) ** (exponent + 1.0)) / (
+        2.0 * np.pi * (2.0 * hurst)
+    )
+    return 2.0 * (1.0 - np.cos(lam)) * (series + tail)
+
+
+def whittle_hurst(
+    values: np.ndarray,
+    bounds: tuple[float, float] = (0.5 + 1e-4, 1.0 - 1e-4),
+    terms: int = 50,
+) -> HurstEstimate:
+    """Whittle MLE of the Hurst parameter under the fGn model.
+
+    Parameters
+    ----------
+    values:
+        The series (treated as a realization of fGn after mean removal).
+    bounds:
+        Search interval for H (default: the LRD range).
+    terms:
+        Truncation of the spectral-shape sum.
+
+    Returns
+    -------
+    A :class:`~repro.analysis.hurst.HurstEstimate`; the regression arrays
+    carry (log frequency, log periodogram) for diagnostics.
+    """
+    x = np.asarray(values, dtype=np.float64)
+    if x.ndim != 1 or x.size < 128:
+        raise ValueError("series must be 1-D with at least 128 samples")
+    if not np.all(np.isfinite(x)):
+        raise ValueError("series must be finite")
+    if float(x.std()) == 0.0:
+        raise ValueError("series is constant; Hurst parameter undefined")
+    n = x.size
+    centered = x - x.mean()
+    spectrum = np.fft.rfft(centered)
+    periodogram = (np.abs(spectrum) ** 2) / (2.0 * np.pi * n)
+    # Fourier frequencies strictly inside (0, pi); drop DC and Nyquist.
+    m = (n - 1) // 2
+    lam = 2.0 * np.pi * np.arange(1, m + 1) / n
+    intensity = periodogram[1 : m + 1]
+    keep = intensity > 0.0
+    lam = lam[keep]
+    intensity = intensity[keep]
+
+    def objective(hurst: float) -> float:
+        shape = fgn_spectral_shape(lam, hurst, terms=terms)
+        ratio = intensity / shape
+        return float(np.log(ratio.mean()) + np.mean(np.log(shape)))
+
+    result = minimize_scalar(objective, bounds=bounds, method="bounded")
+    hurst = float(result.x)
+    return HurstEstimate(
+        hurst=hurst,
+        slope=1.0 - 2.0 * hurst,
+        x=np.log(lam),
+        y=np.log(intensity),
+        method="Whittle",
+    )

@@ -1,0 +1,23 @@
+"""Application-level studies built on the core model.
+
+Currently: the error-control study from the paper's conclusion (ARQ vs
+FEC under correlated loss processes).
+"""
+
+from repro.apps.error_control import (
+    ErrorControlComparison,
+    arq_retransmission_overhead,
+    compare_error_control,
+    fec_residual_loss,
+    loss_run_lengths,
+    packet_loss_series,
+)
+
+__all__ = [
+    "packet_loss_series",
+    "loss_run_lengths",
+    "fec_residual_loss",
+    "arq_retransmission_overhead",
+    "compare_error_control",
+    "ErrorControlComparison",
+]

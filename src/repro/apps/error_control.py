@@ -1,0 +1,202 @@
+"""ARQ vs FEC under correlated losses (the paper's Section V example).
+
+The paper closes with a thought experiment about which time scales matter
+for *other* performance questions: closed-loop ARQ "performs well when
+losses are bursty because [it] can accumulate information about a loss
+burst and request retransmission of all packets lost in the burst in one
+go", while open-loop FEC "performs well when losses are spread out over
+time" because a block code recovers up to ``k_max`` losses among ``n``
+packets.  Extending the correlation time scale of the arrival (and hence
+loss) process should therefore *increase the advantage of ARQ over FEC* —
+a problem for which no correlation horizon exists and a self-similar
+model is appropriate.
+
+This module makes that argument quantitative:
+
+* :func:`packet_loss_series` — turns a fluid source + queue into a
+  per-packet loss indicator sequence (fractional per-bin loss thinned into
+  packet losses);
+* :func:`fec_residual_loss` — residual loss of an (n, k) block code:
+  a block with more than ``n - k`` losses loses all its lost packets;
+* :func:`arq_retransmission_overhead` — feedback-based repair: every
+  *loss burst* costs one retransmission round (the burst is reported and
+  repaired in one go), so the overhead is the number of bursts per packet;
+* :func:`compare_error_control` — sweeps the cutoff lag and reports both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.source import CutoffFluidSource
+from repro.core.validation import check_positive
+
+__all__ = [
+    "packet_loss_series",
+    "loss_run_lengths",
+    "fec_residual_loss",
+    "arq_retransmission_overhead",
+    "compare_error_control",
+    "ErrorControlComparison",
+]
+
+
+def packet_loss_series(
+    source: CutoffFluidSource,
+    service_rate: float,
+    buffer_size: float,
+    n_packets: int,
+    rng: np.random.Generator,
+    packets_per_bin: int = 4,
+) -> np.ndarray:
+    """Sample a boolean per-packet loss sequence from the model queue.
+
+    The source's rate trace drives a finite-buffer fluid queue; each time
+    bin carries ``packets_per_bin`` packets and the fraction of work lost
+    in the bin is applied to them as independent thinning.  Returns a
+    boolean array of length ``n_packets`` (True = lost).
+    """
+    if n_packets < 1:
+        raise ValueError(f"n_packets must be >= 1, got {n_packets}")
+    if packets_per_bin < 1:
+        raise ValueError(f"packets_per_bin must be >= 1, got {packets_per_bin}")
+    check_positive("service_rate", service_rate)
+    # Bin width chosen so one bin carries packets_per_bin packets on average.
+    n_bins = (n_packets + packets_per_bin - 1) // packets_per_bin
+    bin_width = max(source.mean_interval / packets_per_bin, 1e-6)
+    rates = source.rate_trace(duration=(n_bins + 1) * bin_width, bin_width=bin_width, rng=rng)
+    rates = rates[:n_bins]
+
+    # Per-bin loss fraction: incremental queue accounting.
+    increments = (rates - service_rate) * bin_width
+    occupancy = 0.0
+    loss_fraction = np.zeros(n_bins)
+    for index, increment in enumerate(increments):
+        arrived = rates[index] * bin_width
+        occupancy += increment
+        if occupancy > buffer_size:
+            lost = occupancy - buffer_size
+            occupancy = buffer_size
+            loss_fraction[index] = min(1.0, lost / arrived) if arrived > 0.0 else 0.0
+        elif occupancy < 0.0:
+            occupancy = 0.0
+    per_packet = np.repeat(loss_fraction, packets_per_bin)[:n_packets]
+    return rng.random(n_packets) < per_packet
+
+
+def loss_run_lengths(losses: np.ndarray) -> np.ndarray:
+    """Lengths of consecutive-loss bursts in a boolean loss sequence."""
+    flags = np.asarray(losses, dtype=bool).astype(np.int8)
+    if flags.ndim != 1:
+        raise ValueError("losses must be 1-D")
+    padded = np.concatenate([[0], flags, [0]])
+    starts = np.nonzero(np.diff(padded) == 1)[0]
+    ends = np.nonzero(np.diff(padded) == -1)[0]
+    return ends - starts
+
+
+def fec_residual_loss(losses: np.ndarray, block_length: int, parity: int) -> float:
+    """Residual packet-loss rate after (n, k) block FEC.
+
+    Packets are grouped into blocks of ``block_length``; a block recovers
+    all its losses when at most ``parity`` packets were lost, and recovers
+    nothing otherwise (the standard erasure-code model).
+    """
+    flags = np.asarray(losses, dtype=bool)
+    if block_length < 1:
+        raise ValueError(f"block_length must be >= 1, got {block_length}")
+    if not (0 <= parity < block_length):
+        raise ValueError("parity must satisfy 0 <= parity < block_length")
+    usable = (flags.size // block_length) * block_length
+    if usable == 0:
+        raise ValueError("loss sequence shorter than one FEC block")
+    blocks = flags[:usable].reshape(-1, block_length)
+    losses_per_block = blocks.sum(axis=1)
+    unrecovered = losses_per_block > parity
+    residual = (losses_per_block * unrecovered).sum()
+    return float(residual) / usable
+
+
+def arq_retransmission_overhead(losses: np.ndarray) -> float:
+    """Feedback repair cost: retransmission rounds per packet.
+
+    The paper's intuition — ARQ "can accumulate information about a loss
+    burst and request retransmission of all packets lost in the burst in
+    one go" — makes one *round* per burst the natural cost unit: bursty
+    losses amortize rounds, spread-out losses do not.
+    """
+    flags = np.asarray(losses, dtype=bool)
+    if flags.size == 0:
+        raise ValueError("losses must be non-empty")
+    bursts = loss_run_lengths(flags).size
+    return bursts / flags.size
+
+
+@dataclass(frozen=True)
+class ErrorControlComparison:
+    """ARQ vs FEC metrics across cutoff lags.
+
+    Attributes
+    ----------
+    cutoffs:
+        Swept cutoff lags (seconds).
+    raw_loss:
+        Pre-repair packet loss rate per cutoff.
+    fec_residual:
+        Residual loss after block FEC per cutoff.
+    arq_overhead:
+        ARQ retransmission rounds per packet per cutoff.
+    mean_burst:
+        Mean loss-burst length per cutoff.
+    """
+
+    cutoffs: np.ndarray
+    raw_loss: np.ndarray
+    fec_residual: np.ndarray
+    arq_overhead: np.ndarray
+    mean_burst: np.ndarray
+
+
+def compare_error_control(
+    source: CutoffFluidSource,
+    utilization: float,
+    normalized_buffer: float,
+    cutoffs: np.ndarray,
+    rng: np.random.Generator,
+    n_packets: int = 200_000,
+    block_length: int = 16,
+    parity: int = 2,
+) -> ErrorControlComparison:
+    """Sweep the cutoff lag and measure FEC vs ARQ behaviour.
+
+    Longer correlation concentrates losses into bursts: FEC blocks overflow
+    their parity budget (residual loss approaches the raw loss) while ARQ
+    amortizes whole bursts into single repair rounds.
+    """
+    check_positive("utilization", utilization)
+    cutoffs = np.asarray(cutoffs, dtype=np.float64)
+    service_rate = source.mean_rate / utilization
+    buffer_size = normalized_buffer * service_rate
+    raw, fec, arq, burst = [], [], [], []
+    for cutoff in cutoffs:
+        losses = packet_loss_series(
+            source.with_cutoff(float(cutoff)),
+            service_rate,
+            buffer_size,
+            n_packets,
+            rng,
+        )
+        raw.append(float(losses.mean()))
+        fec.append(fec_residual_loss(losses, block_length, parity))
+        arq.append(arq_retransmission_overhead(losses))
+        runs = loss_run_lengths(losses)
+        burst.append(float(runs.mean()) if runs.size else 0.0)
+    return ErrorControlComparison(
+        cutoffs=cutoffs,
+        raw_loss=np.asarray(raw),
+        fec_residual=np.asarray(fec),
+        arq_overhead=np.asarray(arq),
+        mean_burst=np.asarray(burst),
+    )

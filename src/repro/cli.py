@@ -1,0 +1,207 @@
+"""Command-line interface: ``python -m repro`` / ``repro-lrd``.
+
+Subcommands
+-----------
+``figure``
+    Regenerate one of the paper's figures as a text table
+    (``repro-lrd figure 4 --quick``).
+``solve``
+    One-off loss-rate computation for a two-state on/off marginal
+    (``repro-lrd solve --hurst 0.8 --utilization 0.8 --buffer 1.0``).
+``horizon``
+    Analytic correlation-horizon estimates for the same source.
+``trace``
+    Synthesize a reference trace and print its calibration statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.horizon import correlation_horizon, norros_horizon
+from repro.core.marginal import DiscreteMarginal
+from repro.core.solver import solve_loss_rate
+from repro.core.source import CutoffFluidSource
+from repro.experiments import figures, reporting
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro-lrd argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lrd",
+        description=(
+            "Reproduction toolkit for Grossglauser & Bolot, 'On the Relevance "
+            "of Long-Range Dependence in Network Traffic' (SIGCOMM '96)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure as a table")
+    figure.add_argument("number", type=int, choices=range(2, 15), help="figure number (2-14)")
+    figure.add_argument("--quick", action="store_true", help="coarser grids, shorter traces")
+    figure.add_argument("--out", default=None, help="also write the table to this file")
+
+    solve = sub.add_parser("solve", help="loss rate of an on/off cutoff fluid source")
+    solve.add_argument("--hurst", type=float, default=0.8)
+    solve.add_argument("--utilization", type=float, default=0.8)
+    solve.add_argument("--buffer", type=float, default=1.0, help="normalized buffer, seconds")
+    solve.add_argument("--cutoff", type=float, default=math.inf, help="cutoff lag, seconds")
+    solve.add_argument("--mean-interval", type=float, default=0.05, help="mean epoch, seconds")
+    solve.add_argument("--peak", type=float, default=2.0, help="ON rate (OFF rate is 0)")
+    solve.add_argument("--on-probability", type=float, default=0.5)
+
+    horizon = sub.add_parser("horizon", help="analytic correlation-horizon estimates")
+    horizon.add_argument("--hurst", type=float, default=0.8)
+    horizon.add_argument("--utilization", type=float, default=0.8)
+    horizon.add_argument("--buffer", type=float, default=1.0, help="normalized buffer, seconds")
+    horizon.add_argument("--mean-interval", type=float, default=0.05)
+    horizon.add_argument("--peak", type=float, default=2.0)
+    horizon.add_argument("--on-probability", type=float, default=0.5)
+    horizon.add_argument("--no-reset-probability", type=float, default=0.05)
+
+    trace = sub.add_parser("trace", help="synthesize a reference trace and describe it")
+    trace.add_argument("name", choices=("mtv", "bellcore"))
+    trace.add_argument("--bins", type=int, default=16384, help="trace length in samples")
+
+    sub.add_parser("list", help="list the figures the runner can regenerate")
+
+    dimension = sub.add_parser(
+        "dimension", help="effective bandwidth / multiplexing gain for an on/off source"
+    )
+    dimension.add_argument("--hurst", type=float, default=0.8)
+    dimension.add_argument("--buffer", type=float, default=0.5, help="normalized buffer, seconds")
+    dimension.add_argument("--cutoff", type=float, default=10.0, help="cutoff lag, seconds")
+    dimension.add_argument("--mean-interval", type=float, default=0.05)
+    dimension.add_argument("--peak", type=float, default=2.0)
+    dimension.add_argument("--on-probability", type=float, default=0.5)
+    dimension.add_argument("--target-loss", type=float, default=1e-6)
+    dimension.add_argument(
+        "--streams", type=int, default=0,
+        help="if > 1, also report the multiplexing gain up to this stream count",
+    )
+
+    return parser
+
+
+def _onoff_source(args: argparse.Namespace) -> CutoffFluidSource:
+    marginal = DiscreteMarginal.two_state(
+        low=0.0, high=args.peak, prob_high=args.on_probability
+    )
+    return CutoffFluidSource.from_hurst(
+        marginal=marginal,
+        hurst=args.hurst,
+        mean_interval=args.mean_interval,
+        cutoff=getattr(args, "cutoff", math.inf),
+    )
+
+
+def _run_figure(args: argparse.Namespace) -> str:
+    from repro.experiments.runner import run_figure
+
+    return run_figure(args.number, quick=args.quick)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        from repro.experiments.runner import FIGURES
+
+        for number in sorted(FIGURES):
+            print(f"  figure {number:2d}  {FIGURES[number].title}")
+        return 0
+
+    if args.command == "figure":
+        text = _run_figure(args)
+        print(text)
+        if args.out:
+            reporting.write_report(args.out, text)
+        return 0
+
+    if args.command == "solve":
+        source = _onoff_source(args)
+        result = solve_loss_rate(source, args.utilization, args.buffer)
+        print(result)
+        return 0
+
+    if args.command == "horizon":
+        source = _onoff_source(args)
+        service_rate = source.mean_rate / args.utilization
+        buffer_size = args.buffer * service_rate
+        values = {
+            "eq26_horizon_s": correlation_horizon(
+                source, buffer_size, no_reset_probability=args.no_reset_probability
+            ),
+            "norros_horizon_s": norros_horizon(source, service_rate, buffer_size),
+        }
+        print(reporting.format_mapping(values, "Correlation-horizon estimates"))
+        return 0
+
+    if args.command == "dimension":
+        import numpy as np
+
+        from repro.queueing.dimensioning import multiplexing_gain, required_service_rate
+
+        source = _onoff_source(args)
+        bandwidth = required_service_rate(source, args.buffer, args.target_loss)
+        print(reporting.format_mapping(
+            {
+                "mean_rate": source.mean_rate,
+                "peak_rate": source.marginal.peak,
+                "effective_bandwidth": bandwidth,
+                "achievable_utilization": source.mean_rate / bandwidth,
+            },
+            f"Effective bandwidth (loss <= {args.target_loss:g}, B = {args.buffer:g} s)",
+        ))
+        if args.streams > 1:
+            counts = np.unique(
+                np.round(np.geomspace(1, args.streams, min(5, args.streams))).astype(int)
+            )
+            gain = multiplexing_gain(source, args.buffer, args.target_loss, counts)
+            print()
+            print(reporting.format_series(
+                "streams",
+                gain.streams.astype(float),
+                {
+                    "per_stream_bw": gain.per_stream_bandwidth,
+                    "utilization": gain.utilization,
+                },
+                "Multiplexing gain",
+            ))
+        return 0
+
+    if args.command == "trace":
+        if args.name == "mtv":
+            trace = figures.mtv_trace(args.bins)
+            hurst = 0.83
+        else:
+            trace = figures.bellcore_trace(args.bins)
+            hurst = 0.9
+        source = trace.to_source(hurst=hurst)
+        values = {
+            "samples": float(trace.n_bins),
+            "bin_width_s": trace.bin_width,
+            "mean_rate": trace.mean_rate,
+            "peak_rate": trace.peak_rate,
+            "mean_epoch_s": trace.mean_epoch_duration(),
+            "alpha": source.interarrival.alpha,
+            "theta": source.interarrival.theta,
+        }
+        print(reporting.format_mapping(values, str(trace)))
+        return 0
+
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

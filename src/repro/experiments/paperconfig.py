@@ -1,0 +1,78 @@
+"""Shared constants of the paper's evaluation setup (Section III).
+
+Every figure benchmark pulls its workload parameters from here so the
+paper's setup lives in exactly one place.  Grid sizes default to slightly
+coarser values than the paper's plots to keep a full benchmark run in the
+minutes range; the shapes (who wins, where the knees are) are preserved.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "MTV_UTILIZATION",
+    "BELLCORE_UTILIZATION",
+    "FIG9_UTILIZATION",
+    "FIG9_THETA",
+    "FIG9_HURST",
+    "FIG9_NORMALIZED_BUFFER",
+    "HISTOGRAM_BINS",
+    "buffer_grid",
+    "cutoff_grid",
+    "hurst_grid",
+    "scaling_grid",
+    "stream_grid",
+    "DEFAULT_TRACE_BINS",
+]
+
+MTV_UTILIZATION = 0.8
+"""Utilization used for all MTV experiments (Figs. 4, 7, 10-12, 14)."""
+
+BELLCORE_UTILIZATION = 0.4
+"""Utilization used for all Bellcore experiments (Figs. 5, 8, 13)."""
+
+FIG9_UTILIZATION = 2.0 / 3.0
+"""Fig. 9: both marginals compared at utilization 2/3."""
+
+FIG9_THETA = 0.020
+"""Fig. 9: theta = 20 ms for both sources."""
+
+FIG9_HURST = 0.9
+"""Fig. 9: common Hurst parameter."""
+
+FIG9_NORMALIZED_BUFFER = 1.0
+"""Fig. 9: normalized buffer size, seconds."""
+
+HISTOGRAM_BINS = 50
+"""The paper: "We set the number of bins to 50 in all experiments."""
+
+DEFAULT_TRACE_BINS = 32768
+"""Synthetic trace length used by the benchmarks (paper: 107 892 / 360 000)."""
+
+
+def buffer_grid(points: int = 6, low: float = 0.01, high: float = 5.0) -> np.ndarray:
+    """Normalized buffer sizes in seconds (paper: up to a few seconds)."""
+    return np.logspace(math.log10(low), math.log10(high), points)
+
+
+def cutoff_grid(points: int = 6, low: float = 0.1, high: float = 1000.0) -> np.ndarray:
+    """Cutoff lags ``T_c`` in seconds."""
+    return np.logspace(math.log10(low), math.log10(high), points)
+
+
+def hurst_grid(points: int = 5, low: float = 0.55, high: float = 0.95) -> np.ndarray:
+    """Hurst parameters (paper Figs. 10-11: the range (0.55, 0.95))."""
+    return np.linspace(low, high, points)
+
+
+def scaling_grid(points: int = 5, low: float = 0.5, high: float = 1.5) -> np.ndarray:
+    """Marginal scaling factors (paper: the range (0.5, 1.5))."""
+    return np.linspace(low, high, points)
+
+
+def stream_grid(maximum: int = 10, points: int = 5) -> np.ndarray:
+    """Numbers of superposed streams (paper Fig. 11: 1..10)."""
+    return np.unique(np.round(np.linspace(1, maximum, points)).astype(int))

@@ -1,0 +1,235 @@
+"""Figure registry and one-call experiment runner.
+
+Maps every paper figure number to a (builder, renderer) pair so the CLI,
+the benchmarks and user code can all regenerate a figure the same way:
+
+>>> from repro.experiments.runner import run_figure
+>>> text = run_figure(3, quick=True)   # doctest: +SKIP
+
+``quick=True`` shrinks trace lengths and grids for interactive use; the
+benchmarks run the full sizes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.experiments import figures, reporting
+from repro.experiments.asciiplot import heatmap
+
+__all__ = ["FigureSpec", "FIGURES", "run_figure", "available_figures"]
+
+_QUICK_TRACE = 8192
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """One paper figure: how to build its data and render it as text.
+
+    Attributes
+    ----------
+    number:
+        Paper figure number.
+    title:
+        Human-readable description shown in listings.
+    build:
+        Callable returning the figure's data object; accepts the keyword
+        overrides listed in ``quick_kwargs`` plus the trace-size keyword.
+    render:
+        Callable turning the data object into the report text.
+    trace_keyword:
+        Name of the builder's trace-length parameter.
+    quick_kwargs:
+        Extra keyword overrides applied in quick mode (coarser grids).
+    """
+
+    number: int
+    title: str
+    build: Callable[..., object]
+    render: Callable[[object], str]
+    trace_keyword: str = "n_frames"
+    quick_kwargs: dict = field(default_factory=dict)
+
+
+def _render_fig02(snapshots) -> str:
+    lines = ["Fig. 2 — occupancy bound convergence (M = 100)"]
+    for snap in snapshots:
+        lines.append(
+            f"  n={snap.iterations:3d}: lower mean {snap.lower_mean:.4f}, "
+            f"upper mean {snap.upper_mean:.4f}"
+        )
+    return "\n".join(lines)
+
+
+def _render_fig03(data) -> str:
+    return "\n".join(
+        [
+            reporting.format_mapping(data.mtv_summary, "Fig. 3 — MTV marginal"),
+            reporting.format_mapping(data.bellcore_summary, "Fig. 3 — Bellcore marginal"),
+        ]
+    )
+
+
+def _render_surface(title: str) -> Callable[[object], str]:
+    def render(surface) -> str:
+        return reporting.format_surface(surface, title) + "\n\n" + heatmap(surface)
+
+    return render
+
+
+def _render_fig06(data) -> str:
+    stride = max(1, data.lags_seconds.size // 16)
+    return reporting.format_series(
+        "lag_s",
+        data.lags_seconds[::stride],
+        {"original": data.original_acf[::stride], "shuffled": data.shuffled_acf[::stride]},
+        f"Fig. 6 — ACF before/after external shuffling (block {data.block_seconds} s)",
+    )
+
+
+def _render_fig09(data) -> str:
+    return reporting.format_series(
+        "cutoff_s",
+        data.cutoffs,
+        {"mtv": data.mtv_losses, "bellcore": data.bellcore_losses},
+        "Fig. 9 — marginal comparison (B = 1 s, util = 2/3, H = 0.9)",
+    )
+
+
+def _render_fig14(data) -> str:
+    parts = [
+        reporting.format_surface(
+            data.surface, "Fig. 14 — shuffle loss (log-log grid), MTV"
+        ),
+        reporting.format_series(
+            "buffer_s",
+            data.buffers,
+            {
+                "empirical_CH": data.empirical,
+                "eq26_CH": data.analytic,
+                "norros_CH": data.norros,
+            },
+            "Correlation horizons",
+        ),
+        f"log CH / log B slope: {data.scaling_exponent:.3f} (paper: ~1, linear)",
+    ]
+    return "\n\n".join(parts)
+
+
+FIGURES: dict[int, FigureSpec] = {
+    2: FigureSpec(
+        2, "occupancy bound convergence", figures.fig02_bounds_convergence, _render_fig02
+    ),
+    3: FigureSpec(
+        3, "trace marginals", figures.fig03_marginals, _render_fig03, trace_keyword="n_bins"
+    ),
+    4: FigureSpec(
+        4,
+        "model loss vs (buffer, cutoff), MTV util 0.8",
+        figures.fig04_loss_surface_mtv,
+        _render_surface("Fig. 4 — model loss, MTV util 0.8"),
+        quick_kwargs={"buffer_points": 4, "cutoff_points": 4},
+    ),
+    5: FigureSpec(
+        5,
+        "model loss vs (buffer, cutoff), Bellcore util 0.4",
+        figures.fig05_loss_surface_bellcore,
+        _render_surface("Fig. 5 — model loss, Bellcore util 0.4"),
+        trace_keyword="n_bins",
+        quick_kwargs={"buffer_points": 4, "cutoff_points": 4},
+    ),
+    6: FigureSpec(
+        6, "shuffling decorrelation", figures.fig06_shuffle_decorrelation, _render_fig06
+    ),
+    7: FigureSpec(
+        7,
+        "shuffle loss vs (buffer, cutoff), MTV util 0.8",
+        figures.fig07_shuffle_surface_mtv,
+        _render_surface("Fig. 7 — shuffle loss, MTV util 0.8"),
+        quick_kwargs={"buffer_points": 4, "cutoff_points": 4},
+    ),
+    8: FigureSpec(
+        8,
+        "shuffle loss vs (buffer, cutoff), Bellcore util 0.4",
+        figures.fig08_shuffle_surface_bellcore,
+        _render_surface("Fig. 8 — shuffle loss, Bellcore util 0.4"),
+        trace_keyword="n_bins",
+        quick_kwargs={"buffer_points": 4, "cutoff_points": 4},
+    ),
+    9: FigureSpec(
+        9,
+        "marginal comparison at identical dynamics",
+        figures.fig09_marginal_comparison,
+        _render_fig09,
+        trace_keyword="n_bins",
+        quick_kwargs={"cutoff_points": 4},
+    ),
+    10: FigureSpec(
+        10,
+        "loss vs (H, marginal scaling), MTV",
+        figures.fig10_hurst_vs_scaling,
+        _render_surface("Fig. 10 — loss vs (H, scaling), MTV"),
+        quick_kwargs={"hurst_points": 3, "scaling_points": 3},
+    ),
+    11: FigureSpec(
+        11,
+        "loss vs (H, superposed streams), MTV",
+        figures.fig11_hurst_vs_superposition,
+        _render_surface("Fig. 11 — loss vs (H, streams), MTV"),
+        quick_kwargs={"hurst_points": 3},
+    ),
+    12: FigureSpec(
+        12,
+        "loss vs (buffer, scaling), MTV",
+        figures.fig12_buffer_vs_scaling_mtv,
+        _render_surface("Fig. 12 — loss vs (buffer, scaling), MTV"),
+        quick_kwargs={"buffer_points": 4, "scaling_points": 3},
+    ),
+    13: FigureSpec(
+        13,
+        "loss vs (buffer, scaling), Bellcore",
+        figures.fig13_buffer_vs_scaling_bellcore,
+        _render_surface("Fig. 13 — loss vs (buffer, scaling), Bellcore"),
+        trace_keyword="n_bins",
+        quick_kwargs={"buffer_points": 4, "scaling_points": 3},
+    ),
+    14: FigureSpec(
+        14,
+        "correlation-horizon scaling",
+        figures.fig14_horizon_scaling,
+        _render_fig14,
+        quick_kwargs={"buffer_points": 3, "cutoff_points": 5},
+    ),
+}
+
+
+def available_figures() -> list[int]:
+    """Sorted list of figure numbers the runner can regenerate."""
+    return sorted(FIGURES)
+
+
+def run_figure(number: int, quick: bool = False, trace_bins: int | None = None) -> str:
+    """Regenerate one paper figure and return its text report.
+
+    Parameters
+    ----------
+    number:
+        Figure number (2-14).
+    quick:
+        Use short traces and coarse grids (interactive exploration).
+    trace_bins:
+        Explicit trace length; overrides the quick/full default.
+    """
+    if number not in FIGURES:
+        raise ValueError(f"unknown figure {number}; choose from {available_figures()}")
+    spec = FIGURES[number]
+    kwargs: dict = {}
+    if trace_bins is not None:
+        kwargs[spec.trace_keyword] = int(trace_bins)
+    elif quick:
+        kwargs[spec.trace_keyword] = _QUICK_TRACE
+    if quick:
+        kwargs.update(spec.quick_kwargs)
+    data = spec.build(**kwargs)
+    return spec.render(data)

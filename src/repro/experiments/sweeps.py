@@ -1,0 +1,252 @@
+"""Parameter sweeps producing the paper's loss surfaces.
+
+Each sweep varies two of the four knobs the paper studies — normalized
+buffer size B, cutoff lag T_c, Hurst parameter H, and the marginal
+distribution (scaling factor a or number of superposed streams n) — and
+records the solver's loss estimate per grid cell in a
+:class:`LossSurface`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.marginal import DiscreteMarginal
+from repro.core.solver import SolverConfig, solve_loss_rate
+from repro.core.source import CutoffFluidSource
+
+__all__ = [
+    "LossSurface",
+    "sweep_buffer_cutoff",
+    "sweep_cutoff",
+    "sweep_hurst_scaling",
+    "sweep_hurst_superposition",
+    "sweep_buffer_scaling",
+]
+
+
+@dataclass(frozen=True)
+class LossSurface:
+    """A 2-D grid of loss rates with labeled axes.
+
+    Attributes
+    ----------
+    row_label, col_label:
+        Names of the row/column parameters.
+    rows, cols:
+        Parameter values along each axis.
+    losses:
+        Loss estimates, shape ``(len(rows), len(cols))``.
+    meta:
+        Free-form description of the fixed parameters.
+    """
+
+    row_label: str
+    col_label: str
+    rows: np.ndarray
+    cols: np.ndarray
+    losses: np.ndarray
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.losses.shape != (self.rows.size, self.cols.size):
+            raise ValueError(
+                f"losses shape {self.losses.shape} does not match axes "
+                f"({self.rows.size}, {self.cols.size})"
+            )
+
+    def row_series(self, row_index: int) -> tuple[np.ndarray, np.ndarray]:
+        """(cols, losses) along one row."""
+        return self.cols, self.losses[row_index]
+
+    def col_series(self, col_index: int) -> tuple[np.ndarray, np.ndarray]:
+        """(rows, losses) along one column."""
+        return self.rows, self.losses[:, col_index]
+
+    def save(self, path: str) -> None:
+        """Persist the surface (grids, losses, meta) as a ``.npz`` archive."""
+        np.savez_compressed(
+            path,
+            row_label=self.row_label,
+            col_label=self.col_label,
+            rows=self.rows,
+            cols=self.cols,
+            losses=self.losses,
+            meta_json=json.dumps(self.meta, default=float),
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "LossSurface":
+        """Load a surface previously stored with :meth:`save`."""
+        with np.load(path, allow_pickle=False) as archive:
+            return cls(
+                row_label=str(archive["row_label"]),
+                col_label=str(archive["col_label"]),
+                rows=archive["rows"],
+                cols=archive["cols"],
+                losses=archive["losses"],
+                meta=json.loads(str(archive["meta_json"])),
+            )
+
+
+def sweep_buffer_cutoff(
+    source: CutoffFluidSource,
+    utilization: float,
+    buffers: np.ndarray,
+    cutoffs: np.ndarray,
+    config: SolverConfig | None = None,
+) -> LossSurface:
+    """Loss over (normalized buffer, cutoff lag) — Figs. 4 and 5."""
+    buffers = np.asarray(buffers, dtype=np.float64)
+    cutoffs = np.asarray(cutoffs, dtype=np.float64)
+    losses = np.empty((buffers.size, cutoffs.size))
+    for j, cutoff in enumerate(cutoffs):
+        truncated = source.with_cutoff(float(cutoff))
+        for i, buffer_seconds in enumerate(buffers):
+            result = solve_loss_rate(
+                truncated, utilization, float(buffer_seconds), config=config
+            )
+            losses[i, j] = result.estimate
+    return LossSurface(
+        row_label="buffer_s",
+        col_label="cutoff_s",
+        rows=buffers,
+        cols=cutoffs,
+        losses=losses,
+        meta={"utilization": utilization, "hurst": source.hurst},
+    )
+
+
+def sweep_cutoff(
+    source: CutoffFluidSource,
+    utilization: float,
+    normalized_buffer: float,
+    cutoffs: np.ndarray,
+    config: SolverConfig | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Loss along a cutoff sweep at fixed buffer — Fig. 9 and CH extraction."""
+    cutoffs = np.asarray(cutoffs, dtype=np.float64)
+    losses = np.empty(cutoffs.size)
+    for j, cutoff in enumerate(cutoffs):
+        result = solve_loss_rate(
+            source.with_cutoff(float(cutoff)), utilization, normalized_buffer, config=config
+        )
+        losses[j] = result.estimate
+    return cutoffs, losses
+
+
+def sweep_hurst_scaling(
+    marginal: DiscreteMarginal,
+    mean_interval: float,
+    utilization: float,
+    normalized_buffer: float,
+    hursts: np.ndarray,
+    scalings: np.ndarray,
+    cutoff: float = math.inf,
+    nominal_hurst: float | None = None,
+    config: SolverConfig | None = None,
+) -> LossSurface:
+    """Loss over (Hurst, marginal scaling) — Fig. 10.
+
+    Per the paper, theta is calibrated once at the *nominal* Hurst
+    parameter and held fixed while H varies, so the Hurst axis changes
+    only the tail exponent and not the short-range structure.
+    """
+    hursts = np.asarray(hursts, dtype=np.float64)
+    scalings = np.asarray(scalings, dtype=np.float64)
+    if nominal_hurst is None:
+        nominal_hurst = float(hursts[len(hursts) // 2])
+    theta = mean_interval * (3.0 - 2.0 * nominal_hurst - 1.0)  # mean * (alpha - 1)
+    losses = np.empty((hursts.size, scalings.size))
+    for i, hurst in enumerate(hursts):
+        base = CutoffFluidSource.from_hurst(
+            marginal=marginal, hurst=float(hurst), mean_interval=mean_interval, cutoff=cutoff
+        )
+        # Overwrite theta with the nominal-H calibration (paper's protocol).
+        law = base.interarrival
+        fixed = CutoffFluidSource(
+            marginal=marginal,
+            interarrival=type(law)(theta=theta, alpha=law.alpha, cutoff=law.cutoff),
+        )
+        for j, scaling in enumerate(scalings):
+            scaled = fixed.with_marginal(marginal.scaled(float(scaling)))
+            result = solve_loss_rate(scaled, utilization, normalized_buffer, config=config)
+            losses[i, j] = result.estimate
+    return LossSurface(
+        row_label="hurst",
+        col_label="scaling",
+        rows=hursts,
+        cols=scalings,
+        losses=losses,
+        meta={
+            "utilization": utilization,
+            "buffer_s": normalized_buffer,
+            "cutoff_s": cutoff,
+            "theta": theta,
+        },
+    )
+
+
+def sweep_hurst_superposition(
+    marginal: DiscreteMarginal,
+    mean_interval: float,
+    utilization: float,
+    normalized_buffer: float,
+    hursts: np.ndarray,
+    streams: np.ndarray,
+    cutoff: float = math.inf,
+    config: SolverConfig | None = None,
+) -> LossSurface:
+    """Loss over (Hurst, number of superposed streams) — Fig. 11."""
+    hursts = np.asarray(hursts, dtype=np.float64)
+    streams = np.asarray(streams, dtype=np.int64)
+    superposed = {int(n): marginal.superposed(int(n)) for n in streams}
+    losses = np.empty((hursts.size, streams.size))
+    for i, hurst in enumerate(hursts):
+        for j, n in enumerate(streams):
+            source = CutoffFluidSource.from_hurst(
+                marginal=superposed[int(n)],
+                hurst=float(hurst),
+                mean_interval=mean_interval,
+                cutoff=cutoff,
+            )
+            result = solve_loss_rate(source, utilization, normalized_buffer, config=config)
+            losses[i, j] = result.estimate
+    return LossSurface(
+        row_label="hurst",
+        col_label="streams",
+        rows=hursts,
+        cols=streams.astype(np.float64),
+        losses=losses,
+        meta={"utilization": utilization, "buffer_s": normalized_buffer, "cutoff_s": cutoff},
+    )
+
+
+def sweep_buffer_scaling(
+    source: CutoffFluidSource,
+    utilization: float,
+    buffers: np.ndarray,
+    scalings: np.ndarray,
+    config: SolverConfig | None = None,
+) -> LossSurface:
+    """Loss over (normalized buffer, marginal scaling) — Figs. 12 and 13."""
+    buffers = np.asarray(buffers, dtype=np.float64)
+    scalings = np.asarray(scalings, dtype=np.float64)
+    losses = np.empty((buffers.size, scalings.size))
+    for j, scaling in enumerate(scalings):
+        scaled = source.with_marginal(source.marginal.scaled(float(scaling)))
+        for i, buffer_seconds in enumerate(buffers):
+            result = solve_loss_rate(scaled, utilization, float(buffer_seconds), config=config)
+            losses[i, j] = result.estimate
+    return LossSurface(
+        row_label="buffer_s",
+        col_label="scaling",
+        rows=buffers,
+        cols=scalings,
+        losses=losses,
+        meta={"utilization": utilization, "hurst": source.hurst, "cutoff_s": source.cutoff},
+    )

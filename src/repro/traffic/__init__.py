@@ -1,0 +1,69 @@
+"""Traffic-generation substrate: LRD generators, synthetic traces, shuffling."""
+
+from repro.traffic.ethernet import (
+    BELLCORE_BIN_WIDTH,
+    BELLCORE_HURST,
+    BELLCORE_LINK_RATE,
+    BELLCORE_MEAN_RATE,
+    synthesize_bellcore_trace,
+)
+from repro.traffic.farima import (
+    d_from_hurst,
+    farima_autocovariance,
+    generate_farima,
+    hurst_from_d,
+)
+from repro.traffic.fgn import (
+    fgn_autocovariance,
+    generate_fbm,
+    generate_fgn,
+    sample_stationary_gaussian,
+)
+from repro.traffic.mginf import mginf_mean_rate, mginf_rates
+from repro.traffic.onoff import OnOffSource, aggregate_onoff_rates
+from repro.traffic.shuffle import external_shuffle, internal_shuffle, shuffle_trace
+from repro.traffic.spurious import (
+    ar1_process,
+    dirac_pulse_process,
+    hyperbolic_trend_process,
+    level_shift_process,
+)
+from repro.traffic.trace import Trace
+from repro.traffic.video import (
+    MTV_FRAME_INTERVAL,
+    MTV_HURST,
+    MTV_MEAN_RATE,
+    synthesize_mtv_trace,
+)
+
+__all__ = [
+    "Trace",
+    "generate_fgn",
+    "generate_fbm",
+    "fgn_autocovariance",
+    "sample_stationary_gaussian",
+    "generate_farima",
+    "farima_autocovariance",
+    "hurst_from_d",
+    "d_from_hurst",
+    "OnOffSource",
+    "aggregate_onoff_rates",
+    "mginf_rates",
+    "mginf_mean_rate",
+    "external_shuffle",
+    "internal_shuffle",
+    "shuffle_trace",
+    "ar1_process",
+    "level_shift_process",
+    "hyperbolic_trend_process",
+    "dirac_pulse_process",
+    "synthesize_mtv_trace",
+    "MTV_MEAN_RATE",
+    "MTV_FRAME_INTERVAL",
+    "MTV_HURST",
+    "synthesize_bellcore_trace",
+    "BELLCORE_MEAN_RATE",
+    "BELLCORE_BIN_WIDTH",
+    "BELLCORE_HURST",
+    "BELLCORE_LINK_RATE",
+]

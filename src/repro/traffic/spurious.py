@@ -1,0 +1,144 @@
+"""Non-stationary SRD processes that masquerade as LRD (paper Section I).
+
+The paper opens with the modeling debate: "the superposition of a process
+with short range dependence (SRD) and an appropriately chosen on/off
+trend [22] or a hyperbolically decreasing trend [6] is difficult to
+distinguish from a stationary process with LRD", and in networking,
+"the observed LRD may be due to non-stationarity in the data caused by
+the superposition of level shifts [9] or Dirac pulses [15] with short
+range dependent stationary processes."
+
+This module builds exactly those confounders so the estimation suite can
+be exercised against them:
+
+* :func:`ar1_process` — the canonical SRD baseline (geometric ACF);
+* :func:`level_shift_process` — AR(1) plus a slowly switching random mean
+  (Duffield et al. / Klemes' on-off trend);
+* :func:`hyperbolic_trend_process` — AR(1) plus a deterministic
+  ``(1 + t/t0)^{-beta}`` trend (Bhattacharya et al.);
+* :func:`dirac_pulse_process` — AR(1) plus sparse large pulses.
+
+All of them are *short-range dependent or non-stationary*, yet standard
+Hurst estimators report H well above 1/2 on their sample paths — the
+phenomenon that fueled the debate the paper resolves by changing the
+question (what matters is correlation up to the horizon, whatever its
+origin).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.validation import check_in_open_interval, check_positive
+
+__all__ = [
+    "ar1_process",
+    "level_shift_process",
+    "hyperbolic_trend_process",
+    "dirac_pulse_process",
+]
+
+
+def ar1_process(
+    length: int,
+    coefficient: float,
+    rng: np.random.Generator,
+    mean: float = 0.0,
+    std: float = 1.0,
+) -> np.ndarray:
+    """Stationary AR(1): ``x_t = a x_{t-1} + noise`` with unit-variance output.
+
+    The geometric ACF ``a^k`` is the textbook SRD structure; Hurst
+    estimators applied to it must report H near 1/2 at lags beyond the
+    mixing time.
+    """
+    if length < 2:
+        raise ValueError(f"length must be >= 2, got {length}")
+    coefficient = check_in_open_interval("coefficient", coefficient, -1.0, 1.0)
+    check_positive("std", std)
+    innovation = np.sqrt(1.0 - coefficient**2)
+    noise = rng.standard_normal(length)
+    path = np.empty(length)
+    path[0] = noise[0]
+    for index in range(1, length):
+        path[index] = coefficient * path[index - 1] + innovation * noise[index]
+    return mean + std * path
+
+
+def level_shift_process(
+    length: int,
+    rng: np.random.Generator,
+    coefficient: float = 0.3,
+    mean_run: int = 2048,
+    shift_std: float = 1.0,
+) -> np.ndarray:
+    """AR(1) plus a random, slowly switching mean (the "on/off trend").
+
+    The mean jumps to a fresh Gaussian level after geometric-distributed
+    runs of ``mean_run`` expected samples.  Each realization is SRD around
+    a *piecewise-constant* mean — but aggregate variance decays much more
+    slowly than 1/m, which variance-time plots read as LRD.
+    """
+    if mean_run < 2:
+        raise ValueError(f"mean_run must be >= 2, got {mean_run}")
+    check_positive("shift_std", shift_std)
+    base = ar1_process(length, coefficient, rng)
+    levels = np.empty(length)
+    position = 0
+    while position < length:
+        run = 1 + int(rng.geometric(1.0 / mean_run))
+        levels[position : position + run] = rng.normal(0.0, shift_std)
+        position += run
+    return base + levels
+
+
+def hyperbolic_trend_process(
+    length: int,
+    rng: np.random.Generator,
+    coefficient: float = 0.3,
+    trend_scale: float = 3.0,
+    beta: float = 0.3,
+    onset_fraction: float = 0.05,
+) -> np.ndarray:
+    """AR(1) plus a deterministic hyperbolically decaying trend.
+
+    Bhattacharya et al. showed that ``(1 + t/t0)^{-beta}`` added to a weakly
+    dependent series produces the Hurst effect with ``H = 1 - beta/2`` in
+    R/S analysis despite there being no long memory at all.
+    """
+    check_positive("trend_scale", trend_scale)
+    beta = check_in_open_interval("beta", beta, 0.0, 1.0)
+    onset_fraction = check_in_open_interval("onset_fraction", onset_fraction, 0.0, 1.0)
+    base = ar1_process(length, coefficient, rng)
+    onset = max(1.0, onset_fraction * length)
+    t = np.arange(length, dtype=np.float64)
+    trend = trend_scale * (1.0 + t / onset) ** (-beta)
+    return base + trend
+
+
+def dirac_pulse_process(
+    length: int,
+    rng: np.random.Generator,
+    coefficient: float = 0.3,
+    pulse_probability: float = 0.0003,
+    pulse_scale: float = 4.0,
+    mean_pulse_duration: int = 400,
+) -> np.ndarray:
+    """AR(1) plus rare rectangular bursts (Grasse et al.'s MPEG-2 critique).
+
+    Occasional scene-level bursts — pulses that *last* for a while, not
+    single-sample spikes (those are spectrally white and fool nobody) —
+    concentrate energy at low frequencies, which variance-time and
+    Whittle/GPH-style estimators read as long memory.
+    """
+    check_in_open_interval("pulse_probability", pulse_probability, 0.0, 1.0)
+    check_positive("pulse_scale", pulse_scale)
+    if mean_pulse_duration < 1:
+        raise ValueError(f"mean_pulse_duration must be >= 1, got {mean_pulse_duration}")
+    base = ar1_process(length, coefficient, rng)
+    bursts = np.zeros(length)
+    starts = np.nonzero(rng.random(length) < pulse_probability)[0]
+    for start in starts:
+        duration = 1 + int(rng.geometric(1.0 / mean_pulse_duration))
+        bursts[start : start + duration] += rng.exponential(pulse_scale)
+    return base + bursts

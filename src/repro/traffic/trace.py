@@ -1,0 +1,200 @@
+"""Rate-trace container and trace-to-model calibration (paper Section III).
+
+A :class:`Trace` holds a sequence of rates averaged over constant-length
+bins — the exact format of the paper's reference data ("Each trace element
+is a rate averaged over a 10 ms interval").  It provides the two statistics
+the paper extracts to parameterize the fluid model:
+
+* the 50-bin constant-width histogram marginal (Pi, Lambda);
+* the *mean epoch duration* — the average number of consecutive samples
+  falling in the same histogram bin, times the bin width — which calibrates
+  theta through Eq. 25 at ``T_c = inf``.
+
+:meth:`Trace.to_source` bundles both into a ready
+:class:`~repro.core.source.CutoffFluidSource`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.marginal import DiscreteMarginal
+from repro.core.source import CutoffFluidSource
+from repro.core.validation import check_positive
+
+__all__ = ["Trace"]
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A rate trace on a uniform time grid.
+
+    Parameters
+    ----------
+    rates:
+        Per-bin average rates (non-negative, e.g. Mb/s).
+    bin_width:
+        Bin length in seconds.
+    name:
+        Optional label used in reports.
+    """
+
+    rates: np.ndarray
+    bin_width: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        rates = np.asarray(self.rates, dtype=np.float64)
+        if rates.ndim != 1 or rates.size < 2:
+            raise ValueError("rates must be a 1-D array with at least two samples")
+        if not np.all(np.isfinite(rates)):
+            raise ValueError("rates must be finite")
+        if np.any(rates < 0.0):
+            raise ValueError("rates must be non-negative")
+        rates.flags.writeable = False
+        object.__setattr__(self, "rates", rates)
+        object.__setattr__(self, "bin_width", check_positive("bin_width", self.bin_width))
+
+    # ------------------------------------------------------------------ #
+    # basic statistics
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_bins(self) -> int:
+        """Number of samples."""
+        return int(self.rates.size)
+
+    @property
+    def duration(self) -> float:
+        """Covered time span in seconds."""
+        return self.n_bins * self.bin_width
+
+    @property
+    def mean_rate(self) -> float:
+        """Time-average rate."""
+        return float(self.rates.mean())
+
+    @property
+    def peak_rate(self) -> float:
+        """Largest binned rate."""
+        return float(self.rates.max())
+
+    @property
+    def rate_std(self) -> float:
+        """Standard deviation of the binned rates."""
+        return float(self.rates.std())
+
+    @property
+    def total_work(self) -> float:
+        """Total carried volume (rate integral)."""
+        return float(self.rates.sum() * self.bin_width)
+
+    # ------------------------------------------------------------------ #
+    # transforms
+    # ------------------------------------------------------------------ #
+
+    def aggregate(self, factor: int) -> "Trace":
+        """Average over non-overlapping blocks of ``factor`` bins.
+
+        The m-aggregated series of the self-similarity literature; trailing
+        samples that do not fill a block are dropped.
+        """
+        if factor < 1:
+            raise ValueError(f"factor must be >= 1, got {factor}")
+        if factor == 1:
+            return self
+        usable = (self.n_bins // factor) * factor
+        if usable < factor:
+            raise ValueError("trace too short for this aggregation factor")
+        blocks = self.rates[:usable].reshape(-1, factor).mean(axis=1)
+        return Trace(rates=blocks, bin_width=self.bin_width * factor, name=self.name)
+
+    def rescaled(self, mean_rate: float) -> "Trace":
+        """Multiplicatively rescale the trace to a target mean rate."""
+        mean_rate = check_positive("mean_rate", mean_rate)
+        current = self.mean_rate
+        if current <= 0.0:
+            raise ValueError("cannot rescale an all-zero trace")
+        return replace(self, rates=self.rates * (mean_rate / current))
+
+    def head(self, n_bins: int) -> "Trace":
+        """First ``n_bins`` samples as a new trace."""
+        if not (2 <= n_bins <= self.n_bins):
+            raise ValueError(f"n_bins must be in [2, {self.n_bins}], got {n_bins}")
+        return replace(self, rates=self.rates[:n_bins])
+
+    # ------------------------------------------------------------------ #
+    # model calibration (paper Section III)
+    # ------------------------------------------------------------------ #
+
+    def marginal(self, bins: int = 50) -> DiscreteMarginal:
+        """Constant-bin-size histogram marginal (the paper's Pi / Lambda)."""
+        return DiscreteMarginal.from_samples(self.rates, bins=bins)
+
+    def mean_epoch_duration(self, bins: int = 50) -> float:
+        """Mean time between histogram-bin changes, in seconds.
+
+        The paper: "We first compute the average number of consecutive
+        samples in the trace that fall within the same histogram bin" —
+        i.e. the mean run length of the bin-index sequence — "We then set
+        theta such that the mean interval duration [...] matches this
+        empirical mean for T_c = inf."
+        """
+        if bins < 1:
+            raise ValueError(f"bins must be >= 1, got {bins}")
+        low, high = float(self.rates.min()), float(self.rates.max())
+        if high <= low:
+            return self.duration  # constant trace: one infinite epoch, capped
+        edges = np.linspace(low, high, bins + 1)
+        indices = np.clip(np.searchsorted(edges, self.rates, side="right") - 1, 0, bins - 1)
+        changes = int(np.count_nonzero(np.diff(indices)))
+        mean_run = self.n_bins / (changes + 1)
+        return mean_run * self.bin_width
+
+    def to_source(
+        self,
+        hurst: float,
+        cutoff: float = math.inf,
+        bins: int = 50,
+    ) -> CutoffFluidSource:
+        """Calibrate a :class:`CutoffFluidSource` to this trace.
+
+        Marginal from the ``bins``-bin histogram, ``alpha = 3 - 2 hurst``,
+        theta from the mean epoch duration via Eq. 25 at ``T_c = inf``.
+        """
+        return CutoffFluidSource.from_hurst(
+            marginal=self.marginal(bins=bins),
+            hurst=hurst,
+            mean_interval=self.mean_epoch_duration(bins=bins),
+            cutoff=cutoff,
+        )
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+
+    def save(self, path: str) -> None:
+        """Persist the trace as a compressed ``.npz`` archive."""
+        np.savez_compressed(
+            path, rates=self.rates, bin_width=self.bin_width, name=self.name
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "Trace":
+        """Load a trace previously stored with :meth:`save`."""
+        with np.load(path, allow_pickle=False) as archive:
+            return cls(
+                rates=archive["rates"],
+                bin_width=float(archive["bin_width"]),
+                name=str(archive["name"]),
+            )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        label = self.name or "trace"
+        return (
+            f"{label}: {self.n_bins} bins x {self.bin_width * 1e3:.1f} ms, "
+            f"mean {self.mean_rate:.3f}, peak {self.peak_rate:.3f}"
+        )

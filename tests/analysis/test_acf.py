@@ -1,0 +1,60 @@
+"""Tests for sample autocovariance / autocorrelation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.acf import autocorrelation, autocovariance
+
+
+class TestAutocovariance:
+    def test_matches_direct_computation(self, rng):
+        x = rng.standard_normal(500)
+        fast = autocovariance(x, 10)
+        centered = x - x.mean()
+        for k in range(11):
+            direct = float(np.sum(centered[: 500 - k] * centered[k:]) / 500)
+            assert fast[k] == pytest.approx(direct, abs=1e-10)
+
+    def test_lag_zero_is_biased_variance(self, rng):
+        x = rng.standard_normal(1000)
+        gamma = autocovariance(x, 0)
+        assert gamma[0] == pytest.approx(x.var())
+
+    def test_default_max_lag(self, rng):
+        x = rng.standard_normal(64)
+        assert autocovariance(x).shape == (64,)
+
+    def test_white_noise_decorrelated(self, rng):
+        x = rng.standard_normal(100_000)
+        gamma = autocovariance(x, 5)
+        assert np.all(np.abs(gamma[1:]) < 0.02)
+
+    def test_ar1_structure(self, rng):
+        rho = 0.7
+        n = 100_000
+        x = np.empty(n)
+        x[0] = rng.standard_normal()
+        noise = rng.standard_normal(n)
+        for i in range(1, n):
+            x[i] = rho * x[i - 1] + noise[i]
+        acf = autocorrelation(x, 3)
+        assert acf[1] == pytest.approx(rho, abs=0.02)
+        assert acf[2] == pytest.approx(rho**2, abs=0.02)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="1-D"):
+            autocovariance(np.zeros((2, 2)))
+        with pytest.raises(ValueError, match="max_lag"):
+            autocovariance(np.zeros(10), 10)
+
+    def test_constant_series_autocorrelation_rejected(self):
+        with pytest.raises(ValueError, match="variance"):
+            autocorrelation(np.full(100, 3.0), 5)
+
+    def test_autocorrelation_unit_at_zero(self, rng):
+        x = rng.standard_normal(1000)
+        acf = autocorrelation(x, 5)
+        assert acf[0] == pytest.approx(1.0)
+        assert np.all(np.abs(acf) <= 1.0 + 1e-12)

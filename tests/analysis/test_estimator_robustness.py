@@ -1,0 +1,128 @@
+"""Cross-estimator robustness checks on known processes.
+
+These tests treat the five Hurst estimators as a suite and verify the
+relationships the self-similarity literature predicts: stability under
+aggregation, agreement across estimators on clean fGn, sensitivity to
+shuffling, and correct behaviour on FARIMA and on/off-aggregate inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.hurst import periodogram_hurst, rs_hurst, variance_time_hurst
+from repro.analysis.wavelet import wavelet_hurst
+from repro.analysis.whittle import whittle_hurst
+from repro.traffic.farima import generate_farima
+from repro.traffic.fgn import generate_fgn
+from repro.traffic.shuffle import external_shuffle
+
+N = 32768
+
+
+@pytest.fixture(scope="module")
+def fgn_path() -> np.ndarray:
+    return generate_fgn(N, 0.8, np.random.default_rng(77))
+
+
+class TestCrossEstimatorAgreement:
+    def test_all_estimators_agree_on_fgn(self, fgn_path):
+        estimates = {
+            "vt": variance_time_hurst(fgn_path).hurst,
+            "rs": rs_hurst(fgn_path).hurst,
+            "gph": periodogram_hurst(fgn_path).hurst,
+            "whittle": whittle_hurst(fgn_path).hurst,
+            "wavelet": wavelet_hurst(fgn_path).hurst,
+        }
+        for name, value in estimates.items():
+            assert value == pytest.approx(0.8, abs=0.12), name
+        # The frequency-domain estimators agree tightly with each other.
+        assert abs(estimates["whittle"] - estimates["wavelet"]) < 0.08
+
+    def test_estimators_on_farima(self):
+        path = generate_farima(N, 0.3, np.random.default_rng(78))  # H = 0.8
+        assert whittle_hurst(path).hurst == pytest.approx(0.8, abs=0.08)
+        assert wavelet_hurst(path).hurst == pytest.approx(0.8, abs=0.1)
+
+
+class TestAggregationStability:
+    """Self-similarity: the m-aggregated series has the same H."""
+
+    @pytest.mark.parametrize("factor", [4, 16])
+    def test_whittle_stable_under_aggregation(self, fgn_path, factor):
+        usable = (fgn_path.size // factor) * factor
+        aggregated = fgn_path[:usable].reshape(-1, factor).mean(axis=1)
+        original = whittle_hurst(fgn_path).hurst
+        coarse = whittle_hurst(aggregated).hurst
+        assert coarse == pytest.approx(original, abs=0.1)
+
+    def test_white_noise_stays_white_under_aggregation(self):
+        path = generate_fgn(N, 0.5, np.random.default_rng(79))
+        aggregated = path.reshape(-1, 8).mean(axis=1)
+        assert whittle_hurst(aggregated).hurst == pytest.approx(0.5, abs=0.08)
+
+
+class TestShufflingSensitivity:
+    def test_full_permutation_destroys_lrd(self, fgn_path, rng):
+        shuffled = external_shuffle(fgn_path, block_length=1, rng=rng)
+        before = whittle_hurst(fgn_path).hurst
+        after = whittle_hurst(shuffled).hurst
+        assert after < before - 0.15
+        assert after == pytest.approx(0.5, abs=0.1)
+
+    def test_hurst_recovers_with_block_length(self, fgn_path, rng):
+        # Larger shuffle blocks preserve more correlation: H is monotone-ish
+        # in the block length, from ~0.5 (permutation) back to the original.
+        estimates = [
+            whittle_hurst(external_shuffle(fgn_path, block, rng)).hurst
+            for block in (1, 8, 512)
+        ]
+        original = whittle_hurst(fgn_path).hurst
+        assert estimates[0] < estimates[1] <= estimates[2] + 0.05
+        assert estimates[2] == pytest.approx(original, abs=0.1)
+
+    def test_coarse_shuffle_preserves_most_lrd(self, fgn_path, rng):
+        shuffled = external_shuffle(fgn_path, block_length=4096, rng=rng)
+        before = wavelet_hurst(fgn_path).hurst
+        after = wavelet_hurst(shuffled).hurst
+        assert after == pytest.approx(before, abs=0.1)
+
+    def test_variance_time_tracks_shuffle_block(self, fgn_path, rng):
+        # Aggregation blocks inside the shuffle block keep the LRD variance
+        # decay; the variance-time H of the finely shuffled series drops.
+        fine = external_shuffle(fgn_path, block_length=4, rng=rng)
+        assert (
+            variance_time_hurst(fine, min_block=16).hurst
+            < variance_time_hurst(fgn_path, min_block=16).hurst
+        )
+
+
+class TestOnOffAggregateHurst:
+    def test_matches_tail_mapping(self, rng):
+        from repro.traffic.onoff import aggregate_onoff_rates
+
+        alpha = 1.4  # -> H = 0.8
+        rates = aggregate_onoff_rates(
+            sources=40, duration=3000.0, bin_width=0.1, rng=rng,
+            alpha=alpha, mean_period=0.3,
+        )
+        estimate = wavelet_hurst(rates, min_octave=3)
+        assert estimate.hurst == pytest.approx(0.8, abs=0.15)
+
+
+class TestModelCovarianceVsEstimators:
+    def test_cutoff_source_trace_reads_as_lrd_below_cutoff(self, rng):
+        """A cutoff source sampled at scales below T_c looks LRD."""
+        from repro.core.marginal import DiscreteMarginal
+        from repro.core.source import CutoffFluidSource
+
+        source = CutoffFluidSource.from_hurst(
+            marginal=DiscreteMarginal.two_state(0.0, 2.0, 0.5),
+            hurst=0.85,
+            mean_interval=0.05,
+            cutoff=200.0,
+        )
+        trace = source.rate_trace(duration=1500.0, bin_width=0.05, rng=rng)
+        estimate = wavelet_hurst(trace, min_octave=3)
+        assert estimate.hurst > 0.65

@@ -1,0 +1,80 @@
+"""Tests for the time/frequency-domain Hurst estimators on known inputs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.hurst import periodogram_hurst, rs_hurst, variance_time_hurst
+from repro.traffic.fgn import generate_fgn
+
+N = 32768
+
+
+@pytest.fixture(scope="module")
+def fgn_08() -> np.ndarray:
+    return generate_fgn(N, 0.8, np.random.default_rng(100))
+
+
+@pytest.fixture(scope="module")
+def fgn_05() -> np.ndarray:
+    return generate_fgn(N, 0.5, np.random.default_rng(101))
+
+
+class TestVarianceTime:
+    def test_recovers_high_hurst(self, fgn_08):
+        estimate = variance_time_hurst(fgn_08)
+        # Known negative bias of the variance-time plot; accept a wide band
+        # that still separates LRD from SRD.
+        assert estimate.hurst == pytest.approx(0.8, abs=0.12)
+        assert estimate.method == "variance-time"
+
+    def test_recovers_white_noise(self, fgn_05):
+        estimate = variance_time_hurst(fgn_05)
+        assert estimate.hurst == pytest.approx(0.5, abs=0.08)
+
+    def test_diagnostics_shapes(self, fgn_08):
+        estimate = variance_time_hurst(fgn_08)
+        assert estimate.x.shape == estimate.y.shape
+        assert estimate.x.size >= 3
+
+    def test_rejects_short_series(self):
+        with pytest.raises(ValueError):
+            variance_time_hurst(np.zeros(10) + np.arange(10))
+
+    def test_rejects_constant_series(self):
+        with pytest.raises(ValueError, match="constant"):
+            variance_time_hurst(np.full(1000, 2.0))
+
+
+class TestRS:
+    def test_recovers_high_hurst(self, fgn_08):
+        estimate = rs_hurst(fgn_08)
+        assert estimate.hurst == pytest.approx(0.8, abs=0.12)
+
+    def test_white_noise_biased_slightly_high(self, fgn_05):
+        # R/S is known to over-estimate at H = 0.5 on short windows.
+        estimate = rs_hurst(fgn_05)
+        assert 0.45 < estimate.hurst < 0.65
+
+    def test_str_rendering(self, fgn_08):
+        assert "R/S" in str(rs_hurst(fgn_08))
+
+
+class TestPeriodogram:
+    def test_recovers_high_hurst(self, fgn_08):
+        estimate = periodogram_hurst(fgn_08)
+        assert estimate.hurst == pytest.approx(0.8, abs=0.1)
+
+    def test_recovers_white_noise(self, fgn_05):
+        estimate = periodogram_hurst(fgn_05)
+        assert estimate.hurst == pytest.approx(0.5, abs=0.08)
+
+    def test_bandwidth_validation(self, fgn_08):
+        with pytest.raises(ValueError, match="frequency_fraction"):
+            periodogram_hurst(fgn_08, frequency_fraction=0.9)
+
+    def test_ordering_separates_h(self):
+        low = generate_fgn(N, 0.6, np.random.default_rng(5))
+        high = generate_fgn(N, 0.9, np.random.default_rng(5))
+        assert periodogram_hurst(high).hurst > periodogram_hurst(low).hurst

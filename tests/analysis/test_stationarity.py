@@ -1,0 +1,80 @@
+"""Tests for the segment-based stationarity diagnostic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.stationarity import mean_drift_statistic, segment_summary
+from repro.traffic.spurious import (
+    ar1_process,
+    hyperbolic_trend_process,
+    level_shift_process,
+)
+
+N = 32768
+
+
+class TestSegmentSummary:
+    def test_shapes_and_remainder(self):
+        x = np.arange(103.0)
+        summary = segment_summary(x, segments=4)
+        assert summary.means.shape == (4,)
+        assert summary.segment_length == 25  # 103 // 4, remainder dropped
+
+    def test_constant_series(self):
+        summary = segment_summary(np.full(64, 3.0), segments=4)
+        np.testing.assert_allclose(summary.means, 3.0)
+        np.testing.assert_allclose(summary.stds, 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="segments"):
+            segment_summary(np.arange(100.0), segments=1)
+        with pytest.raises(ValueError, match="too short"):
+            segment_summary(np.arange(10.0), segments=8)
+        with pytest.raises(ValueError, match="1-D"):
+            segment_summary(np.zeros((4, 4)))
+
+
+class TestMeanDriftStatistic:
+    def test_stationary_srd_near_one(self):
+        values = [
+            mean_drift_statistic(
+                ar1_process(N, 0.3, np.random.default_rng(seed)), segments=32
+            )
+            for seed in range(1, 6)
+        ]
+        assert max(values) < 8.0
+        assert min(values) > 0.1
+
+    def test_level_shifts_flagged(self):
+        values = [
+            mean_drift_statistic(
+                level_shift_process(N, np.random.default_rng(seed), mean_run=512),
+                segments=32,
+            )
+            for seed in range(1, 4)
+        ]
+        assert min(values) > 8.0
+
+    def test_trend_flagged_strongly(self):
+        value = mean_drift_statistic(
+            hyperbolic_trend_process(N, np.random.default_rng(1), trend_scale=5.0),
+            segments=32,
+        )
+        assert value > 50.0
+
+    def test_ordering_clean_vs_contaminated(self):
+        rng_seed = 7
+        clean = mean_drift_statistic(
+            ar1_process(N, 0.3, np.random.default_rng(rng_seed)), segments=32
+        )
+        dirty = mean_drift_statistic(
+            level_shift_process(N, np.random.default_rng(rng_seed), mean_run=512),
+            segments=32,
+        )
+        assert dirty > 3.0 * clean
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError, match="degenerate"):
+            mean_drift_statistic(np.full(1024, 5.0), segments=8)

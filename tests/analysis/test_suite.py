@@ -1,0 +1,53 @@
+"""Tests for the all-estimator Hurst suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.suite import HurstSuite, estimate_hurst_suite
+from repro.traffic.fgn import generate_fgn
+from repro.traffic.spurious import level_shift_process
+
+
+class TestSuite:
+    def test_all_estimators_present_on_long_series(self):
+        path = generate_fgn(16384, 0.8, np.random.default_rng(5))
+        suite = estimate_hurst_suite(path)
+        assert set(suite.estimates) == {
+            "variance-time",
+            "rs",
+            "periodogram",
+            "whittle",
+            "wavelet",
+        }
+
+    def test_median_near_truth_and_small_spread(self):
+        path = generate_fgn(32768, 0.8, np.random.default_rng(6))
+        suite = estimate_hurst_suite(path)
+        assert suite.median == pytest.approx(0.8, abs=0.08)
+        assert suite.spread < 0.2
+
+    def test_spread_flags_nonstationarity(self):
+        clean = generate_fgn(32768, 0.75, np.random.default_rng(7))
+        shifty = level_shift_process(32768, np.random.default_rng(7), mean_run=1024)
+        assert estimate_hurst_suite(shifty).spread > estimate_hurst_suite(clean).spread
+
+    def test_short_series_partial_suite(self):
+        path = np.random.default_rng(8).standard_normal(200)
+        suite = estimate_hurst_suite(path)
+        # Whittle needs >= 128 samples, the others vary; some must survive.
+        assert len(suite.estimates) >= 2
+
+    def test_summary_keys(self):
+        path = generate_fgn(4096, 0.7, np.random.default_rng(9))
+        summary = estimate_hurst_suite(path).summary()
+        assert "median" in summary and "spread" in summary
+
+    def test_constant_series_rejected(self):
+        with pytest.raises(ValueError, match="unsuitable"):
+            estimate_hurst_suite(np.full(1024, 2.0))
+
+    def test_empty_suite_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            HurstSuite(estimates={})

@@ -1,0 +1,103 @@
+"""Tests for the DWT and the Abry-Veitch wavelet Hurst estimator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.wavelet import (
+    WAVELET_FILTERS,
+    dwt_details,
+    logscale_diagram,
+    wavelet_hurst,
+)
+from repro.traffic.fgn import generate_fgn
+
+
+class TestFilters:
+    @pytest.mark.parametrize("name", sorted(WAVELET_FILTERS))
+    def test_lowpass_normalization(self, name):
+        taps = WAVELET_FILTERS[name]
+        assert float(np.sum(taps**2)) == pytest.approx(1.0, abs=1e-8)
+        assert float(np.sum(taps)) == pytest.approx(np.sqrt(2.0), abs=1e-8)
+
+    @pytest.mark.parametrize("name", sorted(WAVELET_FILTERS))
+    def test_highpass_kills_constants(self, name):
+        constant = np.ones(64)
+        details = dwt_details(constant, wavelet=name, max_level=2)
+        for level in details:
+            np.testing.assert_allclose(level, 0.0, atol=1e-10)
+
+
+class TestDwt:
+    def test_pyramid_sizes_halve(self):
+        x = np.random.default_rng(0).standard_normal(1024)
+        details = dwt_details(x, wavelet="haar")
+        sizes = [d.size for d in details]
+        assert sizes[0] == 512
+        for a, b in zip(sizes, sizes[1:]):
+            assert b == a // 2
+
+    def test_haar_detail_values(self):
+        x = np.array([1.0, 3.0, 2.0, 2.0, 5.0, 1.0, 4.0, 4.0])
+        details = dwt_details(x, wavelet="haar", max_level=1)
+        # Haar high-pass (quadrature mirror of [1,1]/sqrt2) gives
+        # +-(x0 - x1)/sqrt2 per pair.
+        np.testing.assert_allclose(
+            np.abs(details[0]), np.abs(x[0::2] - x[1::2]) / np.sqrt(2.0)
+        )
+
+    def test_energy_conservation_haar_one_level(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal(256)
+        taps = WAVELET_FILTERS["haar"]
+        from repro.analysis.wavelet import _highpass, _periodic_filter_downsample
+
+        approx = _periodic_filter_downsample(x, taps)
+        detail = _periodic_filter_downsample(x, _highpass(taps))
+        assert float(approx @ approx + detail @ detail) == pytest.approx(float(x @ x))
+
+    def test_unknown_wavelet_rejected(self):
+        with pytest.raises(ValueError, match="unknown wavelet"):
+            dwt_details(np.zeros(64), wavelet="sym8")
+
+    def test_short_series_rejected(self):
+        with pytest.raises(ValueError, match="at least 8"):
+            dwt_details(np.zeros(4))
+
+
+class TestLogscaleDiagram:
+    def test_white_noise_flat(self):
+        x = np.random.default_rng(2).standard_normal(65536)
+        octaves, log_energy, counts = logscale_diagram(x, wavelet="haar")
+        # Flat diagram: slope near 0 over the first several octaves.
+        slope = np.polyfit(octaves[:6], log_energy[:6], 1)[0]
+        assert abs(slope) < 0.15
+        assert counts[0] > counts[-1]
+
+    def test_degenerate_series_rejected(self):
+        with pytest.raises(ValueError, match="degenerate"):
+            logscale_diagram(np.full(128, 5.0))
+
+
+class TestWaveletHurst:
+    @pytest.mark.parametrize("hurst", [0.6, 0.8, 0.9])
+    def test_recovers_hurst(self, hurst):
+        path = generate_fgn(32768, hurst, np.random.default_rng(int(hurst * 1000)))
+        estimate = wavelet_hurst(path)
+        assert estimate.hurst == pytest.approx(hurst, abs=0.08)
+
+    def test_db2_handles_linear_trend(self):
+        # db2 has two vanishing moments: a linear trend must not inflate H
+        # by much compared with the trend-free series.
+        rng = np.random.default_rng(3)
+        path = generate_fgn(16384, 0.7, rng)
+        trend = np.linspace(0.0, 1.0, path.size)
+        clean = wavelet_hurst(path, wavelet="db2").hurst
+        trended = wavelet_hurst(path + trend, wavelet="db2").hurst
+        assert trended == pytest.approx(clean, abs=0.05)
+
+    def test_octave_range_fallback(self):
+        x = np.random.default_rng(4).standard_normal(128)
+        estimate = wavelet_hurst(x, min_octave=50)  # impossible range -> fallback
+        assert np.isfinite(estimate.hurst)

@@ -1,0 +1,75 @@
+"""Tests for the Whittle MLE Hurst estimator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import integrate
+
+from repro.analysis.whittle import fgn_spectral_shape, whittle_hurst
+from repro.traffic.fgn import fgn_autocovariance, generate_fgn
+
+
+class TestSpectralShape:
+    def test_positive(self):
+        lam = np.linspace(0.01, np.pi, 50)
+        shape = fgn_spectral_shape(lam, 0.8)
+        assert np.all(shape > 0.0)
+
+    def test_low_frequency_divergence_for_lrd(self):
+        shape = fgn_spectral_shape(np.array([0.001, 0.01]), 0.8)
+        # f ~ lambda^{1-2H} = lambda^{-0.6}: decade ratio ~ 10^{0.6}.
+        assert shape[0] / shape[1] == pytest.approx(10.0**0.6, rel=0.05)
+
+    def test_integral_matches_variance(self):
+        # (1/pi) int_0^pi f dlambda with the right constant equals gamma(0);
+        # our shape omits the constant, so check proportionality via gamma(1).
+        hurst = 0.7
+        gamma = fgn_autocovariance(hurst, 2)
+        f0, _ = integrate.quad(
+            lambda l: float(fgn_spectral_shape(np.array([l]), hurst)[0]), 1e-6, np.pi,
+            limit=200,
+        )
+        f1, _ = integrate.quad(
+            lambda l: float(fgn_spectral_shape(np.array([l]), hurst)[0]) * np.cos(l),
+            1e-6,
+            np.pi,
+            limit=200,
+        )
+        assert f1 / f0 == pytest.approx(gamma[1] / gamma[0], abs=0.01)
+
+    def test_rejects_bad_frequencies(self):
+        with pytest.raises(ValueError, match="frequencies"):
+            fgn_spectral_shape(np.array([0.0]), 0.8)
+        with pytest.raises(ValueError, match="frequencies"):
+            fgn_spectral_shape(np.array([4.0]), 0.8)
+
+    def test_rejects_bad_hurst(self):
+        with pytest.raises(ValueError, match="hurst"):
+            fgn_spectral_shape(np.array([0.1]), 1.5)
+
+
+class TestWhittle:
+    @pytest.mark.parametrize("hurst", [0.6, 0.75, 0.9])
+    def test_recovers_hurst(self, hurst):
+        path = generate_fgn(16384, hurst, np.random.default_rng(int(hurst * 100)))
+        estimate = whittle_hurst(path)
+        assert estimate.hurst == pytest.approx(hurst, abs=0.05)
+
+    def test_method_label(self):
+        path = generate_fgn(2048, 0.7, np.random.default_rng(0))
+        assert whittle_hurst(path).method == "Whittle"
+
+    def test_scale_invariance(self):
+        path = generate_fgn(8192, 0.8, np.random.default_rng(1))
+        a = whittle_hurst(path).hurst
+        b = whittle_hurst(10.0 * path + 5.0).hurst
+        assert a == pytest.approx(b, abs=1e-6)
+
+    def test_rejects_short_series(self):
+        with pytest.raises(ValueError, match="128"):
+            whittle_hurst(np.arange(64.0))
+
+    def test_rejects_constant(self):
+        with pytest.raises(ValueError, match="constant"):
+            whittle_hurst(np.full(256, 1.0))

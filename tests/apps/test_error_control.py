@@ -1,0 +1,126 @@
+"""Tests for the ARQ-vs-FEC error-control study (paper Section V)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.error_control import (
+    arq_retransmission_overhead,
+    compare_error_control,
+    fec_residual_loss,
+    loss_run_lengths,
+    packet_loss_series,
+)
+
+
+class TestLossRunLengths:
+    def test_basic(self):
+        flags = np.array([0, 1, 1, 0, 1, 0, 0, 1, 1, 1], dtype=bool)
+        np.testing.assert_array_equal(loss_run_lengths(flags), [2, 1, 3])
+
+    def test_no_losses(self):
+        assert loss_run_lengths(np.zeros(10, dtype=bool)).size == 0
+
+    def test_all_losses(self):
+        np.testing.assert_array_equal(loss_run_lengths(np.ones(5, dtype=bool)), [5])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            loss_run_lengths(np.zeros((2, 2), dtype=bool))
+
+
+class TestFec:
+    def test_recovers_sparse_losses(self):
+        # One loss per 8-packet block, parity 2: everything recovered.
+        flags = np.zeros(64, dtype=bool)
+        flags[::8] = True
+        assert fec_residual_loss(flags, block_length=8, parity=2) == 0.0
+
+    def test_burst_defeats_parity(self):
+        # A 4-loss burst in one block with parity 2: all four stay lost.
+        flags = np.zeros(16, dtype=bool)
+        flags[0:4] = True
+        assert fec_residual_loss(flags, block_length=8, parity=2) == pytest.approx(4 / 16)
+
+    def test_parity_zero_recovers_nothing(self):
+        flags = np.zeros(8, dtype=bool)
+        flags[3] = True
+        assert fec_residual_loss(flags, block_length=8, parity=0) == pytest.approx(1 / 8)
+
+    def test_validation(self):
+        flags = np.zeros(8, dtype=bool)
+        with pytest.raises(ValueError, match="parity"):
+            fec_residual_loss(flags, block_length=4, parity=4)
+        with pytest.raises(ValueError, match="block_length"):
+            fec_residual_loss(flags, block_length=0, parity=0)
+        with pytest.raises(ValueError, match="shorter"):
+            fec_residual_loss(flags, block_length=100, parity=1)
+
+    def test_bursty_worse_than_spread_at_equal_rate(self, rng):
+        # Same loss count, different arrangement: bursts defeat FEC.
+        n = 4096
+        spread = np.zeros(n, dtype=bool)
+        spread[::16] = True
+        bursty = np.zeros(n, dtype=bool)
+        starts = rng.choice(n // 64, size=n // (16 * 4), replace=False) * 64
+        for s in starts:
+            bursty[s : s + 4] = True
+        assert abs(bursty.mean() - spread.mean()) < 0.02
+        assert fec_residual_loss(bursty, 16, 2) > fec_residual_loss(spread, 16, 2)
+
+
+class TestArq:
+    def test_burstiness_amortizes_rounds(self):
+        n = 64
+        spread = np.zeros(n, dtype=bool)
+        spread[::4] = True  # 16 isolated losses -> 16 rounds
+        bursty = np.zeros(n, dtype=bool)
+        bursty[0:16] = True  # 16 losses in one burst -> 1 round
+        assert arq_retransmission_overhead(bursty) < arq_retransmission_overhead(spread)
+
+    def test_zero_when_lossless(self):
+        assert arq_retransmission_overhead(np.zeros(10, dtype=bool)) == 0.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            arq_retransmission_overhead(np.array([], dtype=bool))
+
+
+class TestPacketLossSeries:
+    def test_shape_and_rate(self, small_source, rng):
+        losses = packet_loss_series(
+            small_source, service_rate=1.1, buffer_size=0.05, n_packets=40_000, rng=rng
+        )
+        assert losses.shape == (40_000,)
+        assert 0.0 < losses.mean() < 0.5
+
+    def test_lossless_when_service_dominates(self, small_source, rng):
+        losses = packet_loss_series(
+            small_source, service_rate=3.0, buffer_size=0.5, n_packets=5_000, rng=rng
+        )
+        assert losses.sum() == 0
+
+    def test_validation(self, small_source, rng):
+        with pytest.raises(ValueError, match="n_packets"):
+            packet_loss_series(small_source, 1.1, 0.1, 0, rng)
+
+
+class TestCompare:
+    def test_correlation_hurts_fec_not_arq(self, small_source, rng):
+        comparison = compare_error_control(
+            small_source,
+            utilization=0.9,
+            normalized_buffer=0.05,
+            cutoffs=np.array([0.1, 10.0]),
+            rng=rng,
+            n_packets=120_000,
+        )
+        # Longer correlation -> longer bursts.
+        assert comparison.mean_burst[1] >= comparison.mean_burst[0]
+        # FEC's *recovery fraction* degrades with correlation.
+        recovery = 1.0 - comparison.fec_residual / np.maximum(comparison.raw_loss, 1e-12)
+        assert recovery[1] <= recovery[0] + 0.05
+        # ARQ rounds *per lost packet* improve (bursts amortize).
+        rounds_per_loss = comparison.arq_overhead / np.maximum(comparison.raw_loss, 1e-12)
+        assert rounds_per_loss[1] <= rounds_per_loss[0] + 0.05

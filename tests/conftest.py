@@ -1,0 +1,60 @@
+"""Shared fixtures: small, fast model instances reused across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.marginal import DiscreteMarginal
+from repro.core.source import CutoffFluidSource
+from repro.core.truncated_pareto import TruncatedPareto
+from repro.traffic.ethernet import synthesize_bellcore_trace
+from repro.traffic.video import synthesize_mtv_trace
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def onoff_marginal() -> DiscreteMarginal:
+    """The familiar two-state on/off marginal (mean 1, variance 1)."""
+    return DiscreteMarginal(rates=[0.0, 2.0], probs=[0.5, 0.5])
+
+
+@pytest.fixture
+def three_level_marginal() -> DiscreteMarginal:
+    """A small multi-level marginal (mean 1.1)."""
+    return DiscreteMarginal(rates=[0.0, 1.0, 4.0], probs=[0.3, 0.5, 0.2])
+
+
+@pytest.fixture
+def pareto_law() -> TruncatedPareto:
+    """A finite-cutoff interarrival law with moderate tail weight."""
+    return TruncatedPareto(theta=0.1, alpha=1.4, cutoff=5.0)
+
+
+@pytest.fixture
+def small_source(onoff_marginal, pareto_law) -> CutoffFluidSource:
+    """On/off source with the finite-cutoff Pareto law."""
+    return CutoffFluidSource(marginal=onoff_marginal, interarrival=pareto_law)
+
+
+@pytest.fixture
+def multi_source(three_level_marginal, pareto_law) -> CutoffFluidSource:
+    """Three-level source with the finite-cutoff Pareto law."""
+    return CutoffFluidSource(marginal=three_level_marginal, interarrival=pareto_law)
+
+
+@pytest.fixture(scope="session")
+def mtv_trace_small():
+    """Short synthetic MTV trace shared across tests (expensive to build)."""
+    return synthesize_mtv_trace(n_frames=4096)
+
+
+@pytest.fixture(scope="session")
+def bellcore_trace_small():
+    """Short synthetic Bellcore trace shared across tests."""
+    return synthesize_bellcore_trace(n_bins=4096)

@@ -1,0 +1,50 @@
+"""Golden regression values for the solver.
+
+These pin the solver's output on three reference instances (computed with
+``relative_gap=0.02`` and cross-validated against Monte Carlo in the
+integration suite).  A failure here means a *numerical behavior change* —
+deliberate algorithm improvements should update the constants, anything
+else is a regression.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.marginal import DiscreteMarginal
+from repro.core.solver import FluidQueue, SolverConfig
+from repro.core.source import CutoffFluidSource
+from repro.core.truncated_pareto import TruncatedPareto
+
+CONFIG = SolverConfig(relative_gap=0.02)
+
+# (cutoff, service_rate, buffer) -> expected loss estimate.
+GOLDEN = {
+    (5.0, 1.25, 1.0): 1.292232e-01,
+    (1.0, 1.25, 0.5): 1.309433e-01,
+    (20.0, 1.4, 2.0): 6.369317e-02,
+}
+
+
+@pytest.mark.parametrize("params,expected", sorted(GOLDEN.items()))
+def test_golden_loss_estimates(params, expected):
+    cutoff, service_rate, buffer_size = params
+    source = CutoffFluidSource(
+        marginal=DiscreteMarginal(rates=[0.0, 2.0], probs=[0.5, 0.5]),
+        interarrival=TruncatedPareto(theta=0.1, alpha=1.4, cutoff=cutoff),
+    )
+    result = FluidQueue(
+        source=source, service_rate=service_rate, buffer_size=buffer_size
+    ).loss_rate(CONFIG)
+    assert result.converged
+    # The 2 % gap config leaves ~1 % slack around the recorded midpoint.
+    assert result.estimate == pytest.approx(expected, rel=0.02)
+
+
+def test_golden_zero_buffer_closed_form():
+    source = CutoffFluidSource(
+        marginal=DiscreteMarginal(rates=[0.0, 2.0], probs=[0.5, 0.5]),
+        interarrival=TruncatedPareto(theta=0.1, alpha=1.4, cutoff=5.0),
+    )
+    result = FluidQueue(source=source, service_rate=1.25, buffer_size=0.0).loss_rate()
+    assert result.estimate == pytest.approx(0.375, rel=1e-12)  # 0.5*0.75/1.0

@@ -1,0 +1,136 @@
+"""Tests for the correlation-horizon estimators (Eq. 26 and friends)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from scipy.special import erfinv
+
+from repro.core.horizon import (
+    correlation_horizon,
+    correlation_horizon_clt,
+    empirical_horizon,
+    norros_horizon,
+)
+from repro.core.marginal import DiscreteMarginal
+from repro.core.source import CutoffFluidSource
+from repro.core.truncated_pareto import TruncatedPareto
+
+
+class TestEq26:
+    def test_matches_formula_for_finite_cutoff(self, small_source):
+        buffer_size = 2.0
+        p = 0.05
+        law = small_source.interarrival
+        expected = (
+            buffer_size
+            * law.mean
+            / (2.0 * math.sqrt(2.0) * law.std * small_source.marginal.std * erfinv(p))
+        )
+        assert correlation_horizon(small_source, buffer_size, p) == pytest.approx(expected)
+
+    def test_linear_in_buffer(self, small_source):
+        h1 = correlation_horizon(small_source, 1.0)
+        h2 = correlation_horizon(small_source, 2.0)
+        assert h2 == pytest.approx(2.0 * h1)
+
+    def test_smaller_p_longer_horizon(self, small_source):
+        strict = correlation_horizon(small_source, 1.0, no_reset_probability=0.01)
+        loose = correlation_horizon(small_source, 1.0, no_reset_probability=0.5)
+        assert strict > loose
+
+    def test_infinite_cutoff_self_consistent(self, onoff_marginal):
+        source = CutoffFluidSource(
+            marginal=onoff_marginal, interarrival=TruncatedPareto(theta=0.1, alpha=1.4)
+        )
+        horizon = correlation_horizon(source, buffer_size=1.0)
+        assert horizon > 0.0
+        # Fixed point: recomputing with the law truncated at the horizon
+        # reproduces the horizon.
+        law = source.interarrival.with_cutoff(horizon)
+        expected = (
+            1.0 * law.mean
+            / (2.0 * math.sqrt(2.0) * law.std * source.marginal.std * erfinv(0.05))
+        )
+        assert horizon == pytest.approx(expected, rel=1e-6)
+
+    def test_degenerate_marginal_rejected(self, pareto_law):
+        source = CutoffFluidSource(
+            marginal=DiscreteMarginal(rates=[1.0], probs=[1.0]), interarrival=pareto_law
+        )
+        with pytest.raises(ValueError, match="degenerate"):
+            correlation_horizon(source, 1.0)
+
+    def test_rejects_bad_probability(self, small_source):
+        with pytest.raises(ValueError, match="no_reset_probability"):
+            correlation_horizon(small_source, 1.0, no_reset_probability=1.0)
+
+
+class TestCltVariant:
+    def test_quadratic_in_buffer(self, small_source):
+        h1 = correlation_horizon_clt(small_source, 1.0)
+        h2 = correlation_horizon_clt(small_source, 2.0)
+        assert h2 == pytest.approx(4.0 * h1)
+
+    def test_requires_finite_cutoff(self, onoff_marginal):
+        source = CutoffFluidSource(
+            marginal=onoff_marginal, interarrival=TruncatedPareto(theta=0.1, alpha=1.4)
+        )
+        with pytest.raises(ValueError, match="finite"):
+            correlation_horizon_clt(source, 1.0)
+
+
+class TestNorros:
+    def test_formula(self, small_source):
+        value = norros_horizon(small_source, service_rate=1.25, buffer_size=1.0)
+        hurst = small_source.hurst
+        expected = (1.0 / 0.25) * hurst / (1.0 - hurst)
+        assert value == pytest.approx(expected)
+
+    def test_linear_in_buffer(self, small_source):
+        h1 = norros_horizon(small_source, 1.25, 1.0)
+        h2 = norros_horizon(small_source, 1.25, 3.0)
+        assert h2 == pytest.approx(3.0 * h1)
+
+    def test_requires_stability(self, small_source):
+        with pytest.raises(ValueError, match="utilization"):
+            norros_horizon(small_source, service_rate=1.0, buffer_size=1.0)
+
+
+class TestEmpiricalHorizon:
+    def test_plateau_detection(self):
+        cutoffs = np.array([0.1, 1.0, 10.0, 100.0, 1000.0])
+        losses = np.array([1e-6, 1e-4, 9.0e-4, 9.6e-4, 1.0e-3])
+        horizon = empirical_horizon(cutoffs, losses, relative_band=0.25)
+        assert horizon == 10.0
+
+    def test_immediate_plateau(self):
+        cutoffs = np.array([1.0, 2.0, 4.0])
+        losses = np.array([1e-3, 1.05e-3, 1e-3])
+        assert empirical_horizon(cutoffs, losses) == 1.0
+
+    def test_no_plateau_until_last(self):
+        cutoffs = np.array([1.0, 2.0, 4.0, 8.0])
+        losses = np.array([1e-6, 1e-5, 1e-4, 1e-3])
+        assert empirical_horizon(cutoffs, losses) == 8.0
+
+    def test_all_zero_losses(self):
+        cutoffs = np.array([1.0, 2.0, 4.0])
+        losses = np.zeros(3)
+        assert empirical_horizon(cutoffs, losses) == 1.0
+
+    def test_zero_plateau_after_positive(self):
+        cutoffs = np.array([1.0, 2.0, 4.0, 8.0])
+        losses = np.array([1e-4, 1e-5, 0.0, 0.0])
+        horizon = empirical_horizon(cutoffs, losses)
+        assert horizon == 4.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="increasing"):
+            empirical_horizon(np.array([2.0, 1.0]), np.array([0.1, 0.2]))
+        with pytest.raises(ValueError, match="equal length"):
+            empirical_horizon(np.array([1.0, 2.0]), np.array([0.1]))
+        with pytest.raises(ValueError, match="non-negative"):
+            empirical_horizon(np.array([1.0, 2.0]), np.array([-0.1, 0.2]))

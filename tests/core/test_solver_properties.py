@@ -1,0 +1,133 @@
+"""Property-based solver invariants over randomized model instances."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.loss import zero_buffer_loss_rate
+from repro.core.marginal import DiscreteMarginal
+from repro.core.solver import FluidQueue, SolverConfig
+from repro.core.source import CutoffFluidSource
+from repro.core.truncated_pareto import TruncatedPareto
+
+FAST = SolverConfig(
+    initial_bins=32, max_bins=256, relative_gap=0.5, max_iterations=2_000,
+    block_iterations=25,
+)
+
+
+@st.composite
+def queue_instances(draw) -> FluidQueue:
+    """Random small (marginal, law, queue) triples with peak above service."""
+    n_levels = draw(st.integers(min_value=2, max_value=5))
+    increments = [draw(st.floats(min_value=0.1, max_value=2.0)) for _ in range(n_levels)]
+    rates = np.concatenate([[0.0], np.cumsum(increments)])[:n_levels]
+    weights = np.array(
+        [draw(st.floats(min_value=0.05, max_value=1.0)) for _ in range(n_levels)]
+    )
+    marginal = DiscreteMarginal(rates=rates, probs=weights / weights.sum())
+    law = TruncatedPareto(
+        theta=draw(st.floats(min_value=0.01, max_value=0.5)),
+        alpha=draw(st.floats(min_value=1.05, max_value=1.95)),
+        cutoff=draw(st.floats(min_value=0.5, max_value=20.0)),
+    )
+    source = CutoffFluidSource(marginal=marginal, interarrival=law)
+    # Service strictly between the mean and the peak so loss is non-trivial.
+    mean, peak = marginal.mean, marginal.peak
+    fraction = draw(st.floats(min_value=0.15, max_value=0.85))
+    service_rate = mean + fraction * (peak - mean)
+    if service_rate <= 0.0:
+        service_rate = 0.5 * peak
+    buffer_size = draw(st.floats(min_value=0.05, max_value=2.0))
+    return FluidQueue(source=source, service_rate=service_rate, buffer_size=buffer_size)
+
+
+class TestSolverInvariants:
+    @given(queue_instances())
+    @settings(max_examples=25, deadline=None)
+    def test_bounds_are_probabilities_and_ordered(self, queue):
+        result = queue.loss_rate(FAST)
+        assert 0.0 <= result.lower <= result.upper <= 1.0 + 1e-9
+
+    @given(queue_instances())
+    @settings(max_examples=25, deadline=None)
+    def test_loss_below_bufferless_bound(self, queue):
+        """Any buffer can only reduce loss below the B = 0 closed form."""
+        result = queue.loss_rate(FAST)
+        ceiling = zero_buffer_loss_rate(queue.source, queue.service_rate)
+        assert result.lower <= ceiling + 1e-9
+
+    @given(queue_instances())
+    @settings(max_examples=15, deadline=None)
+    def test_doubling_buffer_never_increases_lower_bound_estimate(self, queue):
+        small = queue.loss_rate(FAST)
+        bigger = FluidQueue(
+            source=queue.source,
+            service_rate=queue.service_rate,
+            buffer_size=queue.buffer_size * 2.0,
+        ).loss_rate(FAST)
+        # Rigorous bounds of nested buffers must be consistent: the larger
+        # buffer's lower bound cannot exceed the smaller buffer's upper bound.
+        assert bigger.lower <= small.upper + 1e-9
+
+    @given(queue_instances())
+    @settings(max_examples=15, deadline=None)
+    def test_occupancy_pmfs_well_formed(self, queue):
+        bounds = queue.stationary_occupancy(FAST)
+        assert bounds.lower_pmf.sum() == pytest.approx(1.0, abs=1e-6)
+        assert bounds.upper_pmf.sum() == pytest.approx(1.0, abs=1e-6)
+        assert np.all(bounds.lower_pmf >= 0.0)
+        assert np.all(bounds.upper_pmf >= 0.0)
+        assert bounds.lower_mean <= bounds.upper_mean + 1e-9
+
+
+class TestStationaryOccupancy:
+    def test_mean_occupancy_brackets_simulation(self, small_source, rng):
+        from repro.queueing.fluid_sim import simulate_source_queue
+
+        queue = FluidQueue(source=small_source, service_rate=1.25, buffer_size=1.0)
+        bounds = queue.stationary_occupancy(SolverConfig(relative_gap=0.1))
+        sim = simulate_source_queue(
+            small_source, 1.25, 1.0, intervals=200_000, rng=rng, warmup_intervals=5_000
+        )
+        slack = 0.05
+        assert bounds.lower_mean - slack <= sim.mean_occupancy <= bounds.upper_mean + slack
+
+    def test_rejects_trivial_queues(self, small_source):
+        with pytest.raises(ValueError, match="positive buffer"):
+            FluidQueue(
+                source=small_source, service_rate=1.25, buffer_size=0.0
+            ).stationary_occupancy()
+        with pytest.raises(ValueError, match="exceed"):
+            FluidQueue(
+                source=small_source, service_rate=5.0, buffer_size=1.0
+            ).stationary_occupancy()
+
+
+class TestConvolvedMarginal:
+    def test_mean_adds(self, onoff_marginal, three_level_marginal):
+        combined = onoff_marginal.convolved(three_level_marginal)
+        assert combined.mean == pytest.approx(
+            onoff_marginal.mean + three_level_marginal.mean
+        )
+
+    def test_variance_adds(self, onoff_marginal, three_level_marginal):
+        combined = onoff_marginal.convolved(three_level_marginal)
+        assert combined.variance == pytest.approx(
+            onoff_marginal.variance + three_level_marginal.variance, rel=1e-9
+        )
+
+    def test_support_is_sum_grid(self, onoff_marginal):
+        combined = onoff_marginal.convolved(onoff_marginal)
+        np.testing.assert_allclose(combined.rates, [0.0, 2.0, 4.0])
+        np.testing.assert_allclose(combined.probs, [0.25, 0.5, 0.25])
+
+    def test_rebinned_when_large(self, rng):
+        samples = rng.gamma(4.0, 1.0, 5000)
+        wide = DiscreteMarginal.from_samples(samples, bins=50)
+        combined = wide.convolved(wide, max_levels=32)
+        assert combined.size <= 32
+        assert combined.mean == pytest.approx(2 * wide.mean, rel=1e-6)

@@ -1,0 +1,87 @@
+"""Deeper statistical identities of the cutoff fluid source."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from scipy import integrate
+
+from repro.core.marginal import DiscreteMarginal
+from repro.core.source import CutoffFluidSource
+from repro.core.truncated_pareto import TruncatedPareto
+
+
+class TestCumulativeArrivalVariance:
+    def test_matches_double_integral(self, small_source):
+        t = 2.5
+        numeric, _ = integrate.quad(
+            lambda s: (t - s) * float(small_source.autocovariance(s)), 0.0, t, limit=200
+        )
+        assert small_source.cumulative_arrival_variance(t) == pytest.approx(
+            2.0 * numeric, rel=1e-3
+        )
+
+    def test_linear_growth_beyond_cutoff(self, small_source):
+        """For t >> T_c the increments decorrelate: Var[A(t)] grows linearly."""
+        cutoff = small_source.cutoff
+        v1 = small_source.cumulative_arrival_variance(10.0 * cutoff)
+        v2 = small_source.cumulative_arrival_variance(20.0 * cutoff)
+        # Var[A(t)] = 2 int (t-s) phi(s) ds ~ 2 t int phi for t >> T_c.
+        assert v2 / v1 == pytest.approx(2.0, rel=0.1)
+
+    def test_superlinear_growth_inside_correlation(self, onoff_marginal):
+        """Inside the LRD range Var[A(t)] grows like t^{2H}."""
+        source = CutoffFluidSource(
+            marginal=onoff_marginal, interarrival=TruncatedPareto(theta=0.01, alpha=1.4)
+        )
+        t1, t2 = 10.0, 40.0
+        v1 = source.cumulative_arrival_variance(t1)
+        v2 = source.cumulative_arrival_variance(t2)
+        exponent = math.log(v2 / v1) / math.log(t2 / t1)
+        assert exponent == pytest.approx(2.0 * source.hurst, abs=0.12)
+
+    def test_rejects_bad_horizon(self, small_source):
+        with pytest.raises(ValueError, match="horizon"):
+            small_source.cumulative_arrival_variance(0.0)
+
+
+class TestMonteCarloMoments:
+    def test_binned_trace_variance_below_rate_variance(self, small_source, rng):
+        # Binned averages smooth the process: per-bin variance <= sigma^2,
+        # approaching sigma^2 as bins shrink below the epoch scale.
+        fine = small_source.rate_trace(duration=500.0, bin_width=0.01, rng=rng)
+        coarse = small_source.rate_trace(duration=500.0, bin_width=2.0, rng=rng)
+        assert fine.var() <= small_source.rate_variance * 1.1
+        assert coarse.var() < fine.var()
+
+    def test_trace_mean_consistency_across_binning(self, small_source, rng):
+        trace = small_source.rate_trace(duration=1000.0, bin_width=0.1, rng=rng)
+        assert trace.mean() == pytest.approx(small_source.mean_rate, rel=0.1)
+
+    def test_interval_work_identity(self, small_source, rng):
+        path = small_source.sample_path(50_000, rng)
+        # E[work per interval] = E[T] E[lambda] (independence).
+        expected = small_source.mean_interval * small_source.mean_rate
+        assert path.total_work / path.durations.size == pytest.approx(expected, rel=0.05)
+
+
+class TestHurstMappingConsistency:
+    @pytest.mark.parametrize("hurst", [0.55, 0.7, 0.9])
+    def test_covariance_tail_exponent(self, onoff_marginal, hurst):
+        source = CutoffFluidSource.from_hurst(
+            marginal=onoff_marginal, hurst=hurst, mean_interval=0.01
+        )
+        # phi(t) ~ t^{-(2 - 2H)} in the far tail.
+        t = 500.0
+        ratio = source.autocovariance(4.0 * t) / source.autocovariance(t)
+        assert ratio == pytest.approx(4.0 ** -(2.0 - 2.0 * hurst), rel=0.02)
+
+    def test_round_trip_through_interarrival(self, onoff_marginal):
+        for hurst in (0.6, 0.75, 0.95):
+            source = CutoffFluidSource.from_hurst(
+                marginal=onoff_marginal, hurst=hurst, mean_interval=0.05
+            )
+            assert source.hurst == pytest.approx(hurst)
+            assert source.interarrival.alpha == pytest.approx(3.0 - 2.0 * hurst)

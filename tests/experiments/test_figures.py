@@ -1,0 +1,139 @@
+"""Smoke tests for the per-figure data generators (tiny instances)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.solver import SolverConfig
+from repro.experiments import figures
+
+TINY = 2048
+FAST = SolverConfig(initial_bins=64, max_bins=512, relative_gap=0.5, max_iterations=4_000)
+
+
+class TestSources:
+    def test_trace_caches(self):
+        a = figures.mtv_trace(TINY)
+        b = figures.mtv_trace(TINY)
+        assert a is b
+
+    def test_source_calibration(self):
+        source = figures.mtv_source(TINY)
+        assert source.hurst == pytest.approx(0.83)
+        source = figures.bellcore_source(TINY)
+        assert source.hurst == pytest.approx(0.9)
+
+
+class TestFig02:
+    def test_bound_gap_shrinks(self):
+        snapshots = figures.fig02_bounds_convergence(
+            checkpoints=(5, 10, 30), bins=100, n_frames=TINY
+        )
+        assert [s.iterations for s in snapshots] == [5, 10, 30]
+        gaps = [s.upper_mean - s.lower_mean for s in snapshots]
+        assert gaps[0] >= gaps[-1] - 1e-12
+
+
+class TestFig03:
+    def test_marginals_distinct(self):
+        data = figures.fig03_marginals(TINY)
+        assert data.bellcore_summary["cv"] > data.mtv_summary["cv"]
+        assert data.mtv.size <= 50
+
+
+class TestSurfacesSmall:
+    def test_fig04_shape_and_trends(self):
+        surface = figures.fig04_loss_surface_mtv(
+            buffer_points=2, cutoff_points=2, n_frames=TINY, config=FAST
+        )
+        assert surface.losses.shape == (2, 2)
+        assert np.all(surface.losses >= 0.0)
+        # Buffer ineffectiveness direction: bigger buffer never raises loss.
+        assert np.all(surface.losses[0] >= surface.losses[-1] - 1e-12)
+
+    def test_fig05_shape(self):
+        surface = figures.fig05_loss_surface_bellcore(
+            buffer_points=2, cutoff_points=2, n_bins=TINY, config=FAST
+        )
+        assert surface.losses.shape == (2, 2)
+
+    def test_fig12_scaling_direction(self):
+        surface = figures.fig12_buffer_vs_scaling_mtv(
+            buffer_points=2, scaling_points=2, n_frames=TINY, config=FAST
+        )
+        # Narrow marginal column loses less.
+        assert np.all(surface.losses[:, 0] <= surface.losses[:, 1] + 1e-12)
+
+    def test_fig13_shape(self):
+        surface = figures.fig13_buffer_vs_scaling_bellcore(
+            buffer_points=2, scaling_points=2, n_bins=TINY, config=FAST
+        )
+        assert surface.losses.shape == (2, 2)
+
+
+class TestFig06:
+    def test_decorrelation(self):
+        data = figures.fig06_shuffle_decorrelation(
+            block_seconds=0.33, max_lag_seconds=3.0, n_frames=TINY
+        )
+        # At lags beyond the block, shuffled ACF collapses toward zero.
+        tail = data.lags_seconds > 2 * data.block_seconds
+        assert np.mean(np.abs(data.shuffled_acf[tail])) < np.mean(
+            np.abs(data.original_acf[tail])
+        )
+
+
+class TestFig0708:
+    def test_fig07_monotone_in_buffer(self):
+        surface = figures.fig07_shuffle_surface_mtv(
+            buffer_points=3, cutoff_points=2, n_frames=TINY
+        )
+        assert np.all(np.diff(surface.losses, axis=0) <= 1e-12)
+
+    def test_fig08_shape(self):
+        surface = figures.fig08_shuffle_surface_bellcore(
+            buffer_points=2, cutoff_points=2, n_bins=TINY
+        )
+        assert surface.losses.shape == (2, 2)
+
+
+class TestFig09:
+    def test_marginal_dominates(self):
+        data = figures.fig09_marginal_comparison(cutoff_points=3, n_bins=TINY, config=FAST)
+        # The Bellcore marginal loses strictly more at every cutoff with loss.
+        positive = data.mtv_losses + data.bellcore_losses > 0.0
+        assert np.all(
+            data.bellcore_losses[positive] >= data.mtv_losses[positive]
+        )
+
+
+class TestFig1011:
+    def test_fig10_scaling_dominates_hurst(self):
+        surface = figures.fig10_hurst_vs_scaling(
+            hurst_points=2, scaling_points=2, cutoff=10.0, n_frames=TINY, config=FAST
+        )
+        assert surface.losses.shape == (2, 2)
+
+    def test_fig11_superposition_reduces_loss(self):
+        surface = figures.fig11_hurst_vs_superposition(
+            hurst_points=2, max_streams=5, stream_points=2, cutoff=10.0,
+            n_frames=TINY, config=FAST,
+        )
+        # More streams -> less loss, for each Hurst row.
+        assert np.all(surface.losses[:, -1] <= surface.losses[:, 0] + 1e-12)
+
+
+class TestFig14:
+    def test_horizon_scaling_outputs(self):
+        data = figures.fig14_horizon_scaling(
+            buffer_points=3, cutoff_points=4, n_frames=TINY
+        )
+        assert data.buffers.shape == data.empirical.shape
+        assert np.all(data.analytic > 0.0)
+        assert np.all(data.norros > 0.0)
+        # Norros is exactly linear in B; Eq. 26 (self-consistent at infinite
+        # cutoff) is increasing in B.
+        ratio = data.norros / data.buffers
+        np.testing.assert_allclose(ratio, ratio[0], rtol=1e-6)
+        assert np.all(np.diff(data.analytic) > 0.0)

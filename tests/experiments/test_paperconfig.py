@@ -1,0 +1,54 @@
+"""Tests for the shared paper-constant module."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import paperconfig
+
+
+class TestConstants:
+    def test_utilizations(self):
+        assert paperconfig.MTV_UTILIZATION == 0.8
+        assert paperconfig.BELLCORE_UTILIZATION == 0.4
+        assert paperconfig.FIG9_UTILIZATION == pytest.approx(2.0 / 3.0)
+
+    def test_fig9_setup(self):
+        assert paperconfig.FIG9_THETA == pytest.approx(0.020)
+        assert paperconfig.FIG9_HURST == 0.9
+        assert paperconfig.FIG9_NORMALIZED_BUFFER == 1.0
+
+    def test_histogram_bins(self):
+        # "We set the number of bins to 50 in all experiments."
+        assert paperconfig.HISTOGRAM_BINS == 50
+
+
+class TestGrids:
+    def test_buffer_grid_range_and_spacing(self):
+        grid = paperconfig.buffer_grid(6)
+        assert grid[0] == pytest.approx(0.01)
+        assert grid[-1] == pytest.approx(5.0)
+        ratios = grid[1:] / grid[:-1]
+        np.testing.assert_allclose(ratios, ratios[0])  # log-spaced
+
+    def test_cutoff_grid_range(self):
+        grid = paperconfig.cutoff_grid(5, low=0.1, high=100.0)
+        assert grid[0] == pytest.approx(0.1)
+        assert grid[-1] == pytest.approx(100.0)
+        assert grid.size == 5
+
+    def test_hurst_grid_paper_range(self):
+        grid = paperconfig.hurst_grid(5)
+        np.testing.assert_allclose(grid, [0.55, 0.65, 0.75, 0.85, 0.95])
+
+    def test_scaling_grid_paper_range(self):
+        grid = paperconfig.scaling_grid(5)
+        np.testing.assert_allclose(grid, [0.5, 0.75, 1.0, 1.25, 1.5])
+
+    def test_stream_grid_integers(self):
+        grid = paperconfig.stream_grid(10, 5)
+        assert grid.dtype.kind == "i"
+        assert grid[0] == 1
+        assert grid[-1] == 10
+        assert np.all(np.diff(grid) > 0)

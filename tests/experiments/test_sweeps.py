@@ -1,0 +1,140 @@
+"""Tests for the parameter-sweep harness (tiny grids, real code paths)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.solver import SolverConfig
+from repro.experiments.sweeps import (
+    LossSurface,
+    sweep_buffer_cutoff,
+    sweep_buffer_scaling,
+    sweep_cutoff,
+    sweep_hurst_scaling,
+    sweep_hurst_superposition,
+)
+
+FAST = SolverConfig(initial_bins=64, max_bins=512, relative_gap=0.5, max_iterations=5_000)
+
+
+class TestLossSurface:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="shape"):
+            LossSurface(
+                row_label="a",
+                col_label="b",
+                rows=np.array([1.0, 2.0]),
+                cols=np.array([1.0]),
+                losses=np.zeros((1, 1)),
+            )
+
+    def test_save_load_round_trip(self, tmp_path):
+        surface = LossSurface(
+            row_label="buffer_s",
+            col_label="cutoff_s",
+            rows=np.array([0.1, 1.0]),
+            cols=np.array([1.0, 10.0, 100.0]),
+            losses=np.arange(6.0).reshape(2, 3) * 1e-3,
+            meta={"utilization": 0.8, "trace": "demo"},
+        )
+        path = str(tmp_path / "surface.npz")
+        surface.save(path)
+        loaded = LossSurface.load(path)
+        assert loaded.row_label == surface.row_label
+        np.testing.assert_array_equal(loaded.losses, surface.losses)
+        assert loaded.meta["utilization"] == 0.8
+        assert loaded.meta["trace"] == "demo"
+
+    def test_series_accessors(self):
+        surface = LossSurface(
+            row_label="a",
+            col_label="b",
+            rows=np.array([1.0, 2.0]),
+            cols=np.array([10.0, 20.0, 30.0]),
+            losses=np.arange(6.0).reshape(2, 3),
+        )
+        cols, row = surface.row_series(1)
+        np.testing.assert_allclose(row, [3.0, 4.0, 5.0])
+        rows, col = surface.col_series(0)
+        np.testing.assert_allclose(col, [0.0, 3.0])
+
+
+class TestBufferCutoffSweep:
+    def test_monotone_structure(self, small_source):
+        surface = sweep_buffer_cutoff(
+            source=small_source,
+            utilization=0.8,
+            buffers=np.array([0.05, 0.5]),
+            cutoffs=np.array([0.2, 5.0]),
+            config=FAST,
+        )
+        assert surface.losses.shape == (2, 2)
+        # Loss decreases with buffer (columns) and increases with cutoff (rows).
+        assert np.all(surface.losses[0] >= surface.losses[1] - 1e-12)
+        assert np.all(surface.losses[:, 0] <= surface.losses[:, 1] + 1e-12)
+
+    def test_meta_recorded(self, small_source):
+        surface = sweep_buffer_cutoff(
+            source=small_source,
+            utilization=0.8,
+            buffers=np.array([0.1]),
+            cutoffs=np.array([1.0]),
+            config=FAST,
+        )
+        assert surface.meta["utilization"] == 0.8
+        assert surface.meta["hurst"] == pytest.approx(small_source.hurst)
+
+
+class TestCutoffSweep:
+    def test_monotone_in_cutoff(self, small_source):
+        cutoffs, losses = sweep_cutoff(
+            small_source, 0.8, 0.3, np.array([0.2, 1.0, 4.0]), config=FAST
+        )
+        assert losses.shape == (3,)
+        assert losses[0] <= losses[1] + 1e-12 <= losses[2] + 2e-12
+
+
+class TestMarginalSweeps:
+    def test_hurst_scaling_grid(self, three_level_marginal):
+        surface = sweep_hurst_scaling(
+            marginal=three_level_marginal,
+            mean_interval=0.05,
+            utilization=0.8,
+            normalized_buffer=0.2,
+            hursts=np.array([0.6, 0.9]),
+            scalings=np.array([0.5, 1.0]),
+            cutoff=5.0,
+            config=FAST,
+        )
+        assert surface.losses.shape == (2, 2)
+        # Narrower marginal -> lower loss, at both Hurst values.
+        assert np.all(surface.losses[:, 0] <= surface.losses[:, 1] + 1e-12)
+        # Theta is fixed at the nominal-H calibration.
+        assert surface.meta["theta"] > 0.0
+
+    def test_hurst_superposition_grid(self, three_level_marginal):
+        surface = sweep_hurst_superposition(
+            marginal=three_level_marginal,
+            mean_interval=0.05,
+            utilization=0.8,
+            normalized_buffer=0.2,
+            hursts=np.array([0.7]),
+            streams=np.array([1, 4]),
+            cutoff=5.0,
+            config=FAST,
+        )
+        assert surface.losses.shape == (1, 2)
+        # Multiplexing reduces loss.
+        assert surface.losses[0, 1] <= surface.losses[0, 0] + 1e-12
+
+    def test_buffer_scaling_grid(self, multi_source):
+        surface = sweep_buffer_scaling(
+            source=multi_source,
+            utilization=0.8,
+            buffers=np.array([0.05, 0.5]),
+            scalings=np.array([0.5, 1.5]),
+            config=FAST,
+        )
+        assert surface.losses.shape == (2, 2)
+        assert np.all(surface.losses[1] <= surface.losses[0] + 1e-12)

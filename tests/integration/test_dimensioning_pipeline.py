@@ -1,0 +1,75 @@
+"""Integration: capacity planning verified against independent simulation.
+
+The effective-bandwidth answer from :mod:`repro.queueing.dimensioning`
+wraps the solver's *upper* bound, so a trace-driven simulation of the
+dimensioned link must meet the loss target (within Monte Carlo noise).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.solver import SolverConfig
+from repro.queueing.dimensioning import required_buffer, required_service_rate
+from repro.queueing.fluid_sim import simulate_source_queue
+
+FAST = SolverConfig(relative_gap=0.2, max_iterations=40_000)
+
+
+def test_effective_bandwidth_holds_in_simulation(small_source, rng):
+    target = 5e-3
+    buffer_seconds = 0.5
+    bandwidth = required_service_rate(small_source, buffer_seconds, target, config=FAST)
+    sim = simulate_source_queue(
+        small_source,
+        service_rate=bandwidth,
+        buffer_size=buffer_seconds * bandwidth,
+        intervals=400_000,
+        rng=rng,
+        warmup_intervals=5_000,
+    )
+    # Upper-bound-based dimensioning: the simulated loss must not exceed
+    # the target by more than MC noise.
+    assert sim.loss_rate <= target * 1.3
+
+
+def test_required_buffer_holds_in_simulation(small_source, rng):
+    target = 1e-2
+    utilization = 0.75
+    buffer_seconds = required_buffer(
+        small_source, utilization=utilization, target_loss=target,
+        max_normalized_buffer=20.0, config=FAST,
+    )
+    assert buffer_seconds is not None
+    service_rate = small_source.mean_rate / utilization
+    sim = simulate_source_queue(
+        small_source,
+        service_rate=service_rate,
+        buffer_size=buffer_seconds * service_rate,
+        intervals=400_000,
+        rng=rng,
+        warmup_intervals=5_000,
+    )
+    assert sim.loss_rate <= target * 1.3
+
+
+def test_dimensioning_consistent_with_horizon(small_source):
+    """Longer correlation demands more bandwidth at the same target."""
+    target = 1e-3
+    short = required_service_rate(
+        small_source.with_cutoff(0.2), 0.5, target, config=FAST
+    )
+    long = required_service_rate(
+        small_source.with_cutoff(5.0), 0.5, target, config=FAST
+    )
+    assert long >= short - 1e-9
+
+
+def test_trace_to_dimensioning_pipeline(mtv_trace_small):
+    """Trace -> calibrated source -> effective bandwidth, end to end."""
+    source = mtv_trace_small.to_source(hurst=0.83, cutoff=10.0, bins=20)
+    bandwidth = required_service_rate(source, 0.2, 1e-4, config=FAST)
+    assert source.mean_rate < bandwidth <= source.marginal.peak
+    # Sanity: the implied utilization is meaningful for video.
+    assert 0.3 < source.mean_rate / bandwidth < 1.0

@@ -1,0 +1,102 @@
+"""Integration: the bounded solver against Monte Carlo ground truth.
+
+These are the strongest correctness checks in the suite: the solver's
+rigorous bounds must bracket (within Monte Carlo noise) the loss rate of a
+direct event-driven simulation of the same model, across marginals,
+cutoffs, utilizations and buffer sizes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.marginal import DiscreteMarginal
+from repro.core.solver import FluidQueue, SolverConfig
+from repro.core.source import CutoffFluidSource
+from repro.core.truncated_pareto import TruncatedPareto
+from repro.queueing.fluid_sim import simulate_source_queue
+
+CONFIG = SolverConfig(relative_gap=0.1)
+
+
+def _check_brackets(source, service_rate, buffer_size, seed, intervals=250_000):
+    queue = FluidQueue(source=source, service_rate=service_rate, buffer_size=buffer_size)
+    result = queue.loss_rate(CONFIG)
+    assert result.converged
+    sim = simulate_source_queue(
+        source,
+        service_rate,
+        buffer_size,
+        intervals=intervals,
+        rng=np.random.default_rng(seed),
+        warmup_intervals=5_000,
+    )
+    slack = max(0.08 * sim.loss_rate, 2e-4)
+    assert result.lower - slack <= sim.loss_rate <= result.upper + slack, (
+        f"simulated {sim.loss_rate} outside bounds "
+        f"[{result.lower}, {result.upper}] (slack {slack})"
+    )
+    return result, sim
+
+
+@pytest.mark.parametrize(
+    "cutoff,seed",
+    [(0.5, 10), (2.0, 11), (10.0, 12)],
+)
+def test_onoff_across_cutoffs(onoff_marginal, cutoff, seed):
+    source = CutoffFluidSource(
+        marginal=onoff_marginal,
+        interarrival=TruncatedPareto(theta=0.1, alpha=1.4, cutoff=cutoff),
+    )
+    _check_brackets(source, service_rate=1.25, buffer_size=0.8, seed=seed)
+
+
+@pytest.mark.parametrize("utilization,seed", [(0.6, 20), (0.85, 21), (0.95, 22)])
+def test_onoff_across_utilizations(onoff_marginal, utilization, seed):
+    source = CutoffFluidSource(
+        marginal=onoff_marginal,
+        interarrival=TruncatedPareto(theta=0.1, alpha=1.4, cutoff=4.0),
+    )
+    service_rate = source.mean_rate / utilization
+    _check_brackets(source, service_rate=service_rate, buffer_size=0.5, seed=seed)
+
+
+@pytest.mark.parametrize("buffer_size,seed", [(0.1, 30), (1.0, 31), (3.0, 32)])
+def test_onoff_across_buffers(onoff_marginal, buffer_size, seed):
+    source = CutoffFluidSource(
+        marginal=onoff_marginal,
+        interarrival=TruncatedPareto(theta=0.1, alpha=1.4, cutoff=6.0),
+    )
+    _check_brackets(source, service_rate=1.2, buffer_size=buffer_size, seed=seed)
+
+
+def test_multilevel_marginal(three_level_marginal):
+    source = CutoffFluidSource(
+        marginal=three_level_marginal,
+        interarrival=TruncatedPareto(theta=0.05, alpha=1.3, cutoff=3.0),
+    )
+    _check_brackets(source, service_rate=1.5, buffer_size=0.6, seed=40)
+
+
+def test_histogram_marginal_from_synthetic_trace(mtv_trace_small):
+    source = mtv_trace_small.to_source(hurst=0.83, cutoff=2.0, bins=20)
+    service_rate = source.mean_rate / 0.85
+    _check_brackets(source, service_rate=service_rate, buffer_size=0.2 * service_rate, seed=41)
+
+
+def test_infinite_cutoff_against_simulation(onoff_marginal):
+    source = CutoffFluidSource(
+        marginal=onoff_marginal, interarrival=TruncatedPareto(theta=0.1, alpha=1.5)
+    )
+    _check_brackets(source, service_rate=1.3, buffer_size=0.5, seed=42, intervals=400_000)
+
+
+def test_heavy_hurst_against_simulation(onoff_marginal):
+    # H = 0.9 (alpha = 1.2): the hardest regime for both solver and MC.
+    source = CutoffFluidSource(
+        marginal=onoff_marginal, interarrival=TruncatedPareto(theta=0.1, alpha=1.2, cutoff=5.0)
+    )
+    _check_brackets(source, service_rate=1.4, buffer_size=0.5, seed=43, intervals=400_000)

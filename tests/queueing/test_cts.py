@@ -1,0 +1,61 @@
+"""Tests for the dominant-time-scale (critical time scale) estimator."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.source import CutoffFluidSource
+from repro.core.truncated_pareto import TruncatedPareto
+from repro.queueing.cts import dominant_time_scale, gaussian_overflow_exponent
+
+
+class TestExponent:
+    def test_positive(self, small_source):
+        value = gaussian_overflow_exponent(
+            small_source, service_rate=1.25, buffer_size=1.0, horizon=1.0
+        )
+        assert value > 0.0
+
+    def test_larger_buffer_larger_exponent(self, small_source):
+        small = gaussian_overflow_exponent(small_source, 1.25, 0.5, 1.0)
+        large = gaussian_overflow_exponent(small_source, 1.25, 2.0, 1.0)
+        assert large > small
+
+
+class TestDominantTimeScale:
+    def test_result_on_grid(self, small_source):
+        result = dominant_time_scale(small_source, service_rate=1.25, buffer_size=1.0)
+        assert result.time_scale in result.grid
+        assert result.exponent == result.exponents.min()
+
+    def test_interior_minimum(self, small_source):
+        result = dominant_time_scale(small_source, 1.25, 1.0, grid_points=96)
+        index = int(np.argmin(result.exponents))
+        assert 0 < index < result.grid.size - 1
+
+    def test_scales_with_buffer(self, small_source):
+        small = dominant_time_scale(small_source, 1.25, 0.5).time_scale
+        large = dominant_time_scale(small_source, 1.25, 4.0).time_scale
+        assert large > small
+
+    def test_more_correlation_longer_time_scale(self, onoff_marginal):
+        short = CutoffFluidSource(
+            marginal=onoff_marginal, interarrival=TruncatedPareto(theta=0.1, alpha=1.4, cutoff=0.5)
+        )
+        long = CutoffFluidSource(
+            marginal=onoff_marginal, interarrival=TruncatedPareto(theta=0.1, alpha=1.4, cutoff=50.0)
+        )
+        t_short = dominant_time_scale(short, 1.25, 1.0).time_scale
+        t_long = dominant_time_scale(long, 1.25, 1.0).time_scale
+        assert t_long >= t_short
+
+    def test_requires_stability(self, small_source):
+        with pytest.raises(ValueError, match="utilization"):
+            dominant_time_scale(small_source, service_rate=0.9, buffer_size=1.0)
+
+    def test_grid_validation(self, small_source):
+        with pytest.raises(ValueError, match="grid_points"):
+            dominant_time_scale(small_source, 1.25, 1.0, grid_points=4)

@@ -1,0 +1,94 @@
+"""Tests for capacity planning (effective bandwidth, buffer sizing, mux gain)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.solver import FluidQueue, SolverConfig
+from repro.queueing.dimensioning import (
+    multiplexing_gain,
+    required_buffer,
+    required_service_rate,
+)
+
+FAST = SolverConfig(initial_bins=64, max_bins=1024, relative_gap=0.3, max_iterations=20_000)
+
+
+class TestRequiredServiceRate:
+    def test_meets_target(self, small_source):
+        target = 1e-3
+        rate = required_service_rate(small_source, 0.5, target, config=FAST)
+        loss = FluidQueue(
+            source=small_source, service_rate=rate, buffer_size=0.5 * rate
+        ).loss_rate(FAST).upper
+        assert loss <= target * 1.05
+
+    def test_between_mean_and_peak(self, small_source):
+        rate = required_service_rate(small_source, 0.5, 1e-4, config=FAST)
+        assert small_source.mean_rate < rate <= small_source.marginal.peak
+
+    def test_tighter_target_needs_more_bandwidth(self, small_source):
+        loose = required_service_rate(small_source, 0.5, 1e-2, config=FAST)
+        tight = required_service_rate(small_source, 0.5, 1e-6, config=FAST)
+        assert tight >= loose
+
+    def test_bigger_buffer_needs_less_bandwidth(self, small_source):
+        small_buffer = required_service_rate(small_source, 0.05, 1e-3, config=FAST)
+        big_buffer = required_service_rate(small_source, 2.0, 1e-3, config=FAST)
+        assert big_buffer <= small_buffer + 1e-9
+
+    def test_validation(self, small_source):
+        with pytest.raises(ValueError, match="target_loss"):
+            required_service_rate(small_source, 0.5, 0.0)
+        with pytest.raises(ValueError, match="normalized_buffer"):
+            required_service_rate(small_source, 0.0, 1e-3)
+
+
+class TestRequiredBuffer:
+    def test_meets_target(self, small_source):
+        target = 1e-2
+        buffer_seconds = required_buffer(
+            small_source, utilization=0.7, target_loss=target,
+            max_normalized_buffer=20.0, config=FAST,
+        )
+        assert buffer_seconds is not None
+        service_rate = small_source.mean_rate / 0.7
+        loss = FluidQueue(
+            source=small_source,
+            service_rate=service_rate,
+            buffer_size=buffer_seconds * service_rate,
+        ).loss_rate(FAST).upper
+        assert loss <= target * 1.1
+
+    def test_none_when_unreachable(self, small_source):
+        # At utilization near 1 with long correlation, no modest buffer helps.
+        result = required_buffer(
+            small_source.with_cutoff(50.0),
+            utilization=0.98,
+            target_loss=1e-9,
+            max_normalized_buffer=2.0,
+            config=FAST,
+        )
+        assert result is None
+
+    def test_tighter_target_needs_more_buffer(self, small_source):
+        loose = required_buffer(small_source, 0.7, 1e-1, max_normalized_buffer=20.0, config=FAST)
+        tight = required_buffer(small_source, 0.7, 1e-3, max_normalized_buffer=20.0, config=FAST)
+        assert loose is not None and tight is not None
+        assert tight >= loose
+
+
+class TestMultiplexingGain:
+    def test_utilization_improves_with_streams(self, small_source):
+        gain = multiplexing_gain(
+            small_source, normalized_buffer=0.2, target_loss=1e-3,
+            streams=np.array([1, 4, 16]), config=FAST,
+        )
+        assert np.all(np.diff(gain.per_stream_bandwidth) <= 1e-9)
+        assert np.all(np.diff(gain.utilization) >= -1e-9)
+        assert np.all(gain.utilization <= 1.0)
+
+    def test_validation(self, small_source):
+        with pytest.raises(ValueError, match="streams"):
+            multiplexing_gain(small_source, 0.2, 1e-3, np.array([]))

@@ -1,0 +1,93 @@
+"""Tests for the Norros fBm queue asymptotics."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.queueing.fbm import (
+    fbm_parameters_from_source,
+    norros_overflow_probability,
+    weibull_tail_exponent,
+)
+
+
+class TestWeibullExponent:
+    def test_markovian_limit(self):
+        assert weibull_tail_exponent(0.5) == pytest.approx(1.0)
+
+    def test_flattens_toward_one(self):
+        assert weibull_tail_exponent(0.9) == pytest.approx(0.2)
+
+    def test_bounds(self):
+        with pytest.raises(ValueError, match="hurst"):
+            weibull_tail_exponent(1.0)
+
+
+class TestNorrosOverflow:
+    def test_at_zero_level_is_one(self):
+        assert norros_overflow_probability(0.0, 1.0, 1.5, 0.8, 1.0) == pytest.approx(1.0)
+
+    def test_decreasing_in_level(self):
+        x = np.linspace(0.0, 10.0, 30)
+        p = np.asarray(norros_overflow_probability(x, 1.0, 1.5, 0.8, 1.0))
+        assert np.all(np.diff(p) <= 0.0)
+        assert np.all((p >= 0.0) & (p <= 1.0))
+
+    def test_weibull_shape(self):
+        # -log P(Q > x) must scale like x^{2-2H}.
+        hurst = 0.75
+        p1 = norros_overflow_probability(1.0, 1.0, 1.5, hurst, 1.0)
+        p4 = norros_overflow_probability(4.0, 1.0, 1.5, hurst, 1.0)
+        ratio = math.log(p4) / math.log(p1)
+        assert ratio == pytest.approx(4.0 ** (2.0 - 2.0 * hurst), rel=1e-9)
+
+    def test_markovian_case_is_exponential(self):
+        p1 = norros_overflow_probability(1.0, 1.0, 2.0, 0.5, 1.0)
+        p2 = norros_overflow_probability(2.0, 1.0, 2.0, 0.5, 1.0)
+        assert p2 == pytest.approx(p1**2, rel=1e-9)
+
+    def test_higher_hurst_fatter_tail(self):
+        low = norros_overflow_probability(10.0, 1.0, 1.5, 0.6, 1.0)
+        high = norros_overflow_probability(10.0, 1.0, 1.5, 0.9, 1.0)
+        assert high > low
+
+    def test_more_capacity_thinner_tail(self):
+        slow = norros_overflow_probability(5.0, 1.0, 1.2, 0.8, 1.0)
+        fast = norros_overflow_probability(5.0, 1.0, 2.0, 0.8, 1.0)
+        assert fast < slow
+
+    def test_requires_stability(self):
+        with pytest.raises(ValueError, match="stable"):
+            norros_overflow_probability(1.0, 2.0, 1.5, 0.8, 1.0)
+
+
+class TestParameterMatching:
+    def test_variance_matched_at_horizon(self, small_source):
+        horizon = 2.0
+        mean, hurst, a = fbm_parameters_from_source(small_source, horizon)
+        assert mean == pytest.approx(small_source.mean_rate)
+        assert hurst == pytest.approx(small_source.hurst)
+        fbm_variance = a * mean * horizon ** (2.0 * hurst)
+        assert fbm_variance == pytest.approx(
+            small_source.cumulative_arrival_variance(horizon), rel=1e-9
+        )
+
+    def test_overflow_upper_bounds_finite_buffer_loss_shape(self, small_source):
+        """Footnote 2: infinite-buffer overflow tracks above finite-buffer loss."""
+        from repro.core.solver import FluidQueue, SolverConfig
+
+        service_rate = 1.4
+        mean, hurst, a = fbm_parameters_from_source(small_source, horizon=1.0)
+        for buffer_size in (0.5, 1.0, 2.0):
+            loss = FluidQueue(
+                source=small_source, service_rate=service_rate, buffer_size=buffer_size
+            ).loss_rate(SolverConfig(relative_gap=0.3)).estimate
+            overflow = float(
+                norros_overflow_probability(buffer_size, mean, service_rate, hurst, a)
+            )
+            # The Gaussian approximation is crude for a 2-level marginal;
+            # require only the qualitative upper-bound/bigger-is-smaller shape.
+            assert overflow >= loss * 0.5

@@ -1,0 +1,170 @@
+"""Tests for hyperexponential fitting and Markov source constructions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.marginal import DiscreteMarginal
+from repro.core.source import CutoffFluidSource
+from repro.core.truncated_pareto import TruncatedPareto
+from repro.queueing.markov import (
+    HyperexponentialFit,
+    fit_hyperexponential,
+    multiscale_onoff_model,
+    renewal_markov_source,
+)
+
+
+@pytest.fixture
+def target_law() -> TruncatedPareto:
+    return TruncatedPareto(theta=0.02, alpha=1.2, cutoff=50.0)
+
+
+class TestHyperexponentialFit:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            HyperexponentialFit(weights=np.array([1.0]), exit_rates=np.array([0.0]))
+        with pytest.raises(ValueError, match="sum to one"):
+            HyperexponentialFit(weights=np.array([0.5, 0.4]), exit_rates=np.array([1.0, 2.0]))
+
+    def test_sf_and_mean(self):
+        fit = HyperexponentialFit(
+            weights=np.array([0.5, 0.5]), exit_rates=np.array([1.0, 10.0])
+        )
+        assert float(fit.sf(0.0)) == pytest.approx(1.0)
+        assert fit.mean == pytest.approx(0.5 + 0.05)
+
+    def test_residual_sf_decreasing(self):
+        fit = HyperexponentialFit(
+            weights=np.array([0.3, 0.7]), exit_rates=np.array([0.5, 5.0])
+        )
+        t = np.linspace(0.0, 10.0, 50)
+        values = np.asarray(fit.residual_sf(t))
+        assert values[0] == pytest.approx(1.0)
+        assert np.all(np.diff(values) <= 1e-12)
+
+    def test_fw_fit_accuracy(self, target_law):
+        fit = fit_hyperexponential(target_law, phases=10)
+        ts = np.logspace(-3, 1.5, 40)
+        target = np.asarray(target_law.sf(ts))
+        fitted = np.asarray(fit.sf(ts))
+        relative = np.abs(fitted - target) / np.maximum(target, 1e-12)
+        assert float(relative.max()) < 0.12
+
+    def test_fw_fit_mean_close(self, target_law):
+        fit = fit_hyperexponential(target_law, phases=10)
+        assert fit.mean == pytest.approx(target_law.mean, rel=0.1)
+
+    def test_weights_normalized_and_sorted(self, target_law):
+        fit = fit_hyperexponential(target_law, phases=8)
+        assert fit.weights.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(fit.exit_rates) <= 0.0)  # fast phases first
+
+    def test_rejects_bad_phase_count(self, target_law):
+        with pytest.raises(ValueError, match="phases"):
+            fit_hyperexponential(target_law, phases=0)
+
+
+class TestRenewalMarkovSource:
+    def test_state_space_size(self, target_law, three_level_marginal):
+        fit = fit_hyperexponential(target_law, phases=6)
+        model = renewal_markov_source(three_level_marginal, fit)
+        assert model.size == 3 * fit.phases
+
+    def test_mean_rate_matches_marginal(self, target_law, three_level_marginal):
+        fit = fit_hyperexponential(target_law, phases=6)
+        model = renewal_markov_source(three_level_marginal, fit)
+        assert model.mean_rate == pytest.approx(three_level_marginal.mean, rel=1e-6)
+
+    def test_covariance_approximates_cutoff_model(self, target_law, onoff_marginal):
+        fit = fit_hyperexponential(target_law, phases=10)
+        model = renewal_markov_source(onoff_marginal, fit)
+        source = CutoffFluidSource(marginal=onoff_marginal, interarrival=target_law)
+        lags = np.array([0.05, 0.2, 1.0, 5.0])
+        markov_cov = model.rate_autocovariance(lags)
+        exact_cov = np.asarray(source.autocovariance(lags))
+        np.testing.assert_allclose(markov_cov, exact_cov, atol=0.06)
+
+    def test_generator_rows_sum_to_zero(self, target_law, onoff_marginal):
+        fit = fit_hyperexponential(target_law, phases=4)
+        model = renewal_markov_source(onoff_marginal, fit)
+        np.testing.assert_allclose(model.generator.sum(axis=1), 0.0, atol=1e-10)
+
+
+class TestFitMultiscaleSource:
+    def test_mean_matched_exactly(self, small_source):
+        from repro.queueing.markov import fit_multiscale_source
+
+        model = fit_multiscale_source(small_source, scales=5)
+        assert model.mean_rate == pytest.approx(small_source.mean_rate, rel=1e-6)
+
+    def test_covariance_matched(self, small_source):
+        from repro.queueing.markov import fit_multiscale_source
+
+        model = fit_multiscale_source(small_source, scales=6)
+        lags = np.array([0.05, 0.2, 1.0, 3.0])
+        fitted = model.rate_autocovariance(lags)
+        exact = np.asarray(small_source.autocovariance(lags))
+        np.testing.assert_allclose(fitted, exact, atol=0.06 * small_source.rate_variance)
+
+    def test_loss_close_to_reference(self, small_source):
+        from repro.core.solver import FluidQueue, SolverConfig
+        from repro.queueing.markov import fit_multiscale_source
+        from repro.queueing.mmfq import mmfq_loss_rate
+
+        model = fit_multiscale_source(small_source, scales=6)
+        reference = FluidQueue(
+            source=small_source, service_rate=1.25, buffer_size=1.0
+        ).loss_rate(SolverConfig(relative_gap=0.05)).estimate
+        fitted = mmfq_loss_rate(model, 1.25, 1.0)
+        assert fitted == pytest.approx(reference, rel=0.5)
+
+    def test_explicit_on_probability_respected_when_feasible(self, small_source):
+        from repro.queueing.markov import fit_multiscale_source
+
+        model = fit_multiscale_source(small_source, scales=4, on_probability=0.05)
+        assert model.mean_rate == pytest.approx(small_source.mean_rate, rel=1e-6)
+
+    def test_rejects_wrong_type(self):
+        from repro.queueing.markov import fit_multiscale_source
+
+        with pytest.raises(TypeError, match="CutoffFluidSource"):
+            fit_multiscale_source("not a source")
+
+
+class TestMultiscaleOnOff:
+    def test_state_count(self):
+        model = multiscale_onoff_model(scales=3, fastest_time=0.01)
+        assert model.size == 8
+
+    def test_mean_rate(self):
+        model = multiscale_onoff_model(
+            scales=4, fastest_time=0.01, peak_rate_per_scale=2.0, on_probability=0.25
+        )
+        assert model.mean_rate == pytest.approx(4 * 2.0 * 0.25, rel=1e-8)
+
+    def test_covariance_is_sum_of_exponentials(self):
+        model = multiscale_onoff_model(
+            scales=3, fastest_time=0.1, scale_factor=4.0, on_probability=0.5
+        )
+        lags = np.array([0.0, 0.1, 0.4, 1.6])
+        cov = model.rate_autocovariance(lags)
+        per_chain_var = 0.25  # p(1-p) * rate^2
+        expected = sum(
+            per_chain_var * np.exp(-lags / (0.1 * 4.0**j)) for j in range(3)
+        )
+        np.testing.assert_allclose(cov, expected, rtol=1e-6, atol=1e-9)
+
+    def test_pseudo_power_law_span(self):
+        # Covariance stays within a factor ~3 of a true power law across the
+        # covered scale range (the design goal of the construction).
+        model = multiscale_onoff_model(scales=6, fastest_time=0.01, scale_factor=4.0)
+        lags = np.logspace(-2, 1, 20)
+        cov = model.rate_autocovariance(lags)
+        assert np.all(cov > 0.0)
+        assert np.all(np.diff(cov) < 0.0)
+
+    def test_rejects_excessive_scales(self):
+        with pytest.raises(ValueError, match="refuse"):
+            multiscale_onoff_model(scales=13, fastest_time=0.01)

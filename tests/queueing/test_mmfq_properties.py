@@ -1,0 +1,73 @@
+"""Property-based tests for the MMFQ spectral solver on random chains."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queueing.mmfq import MarkovFluidModel, mmfq_loss_rate, mmfq_overflow_probability
+
+
+@st.composite
+def random_models(draw) -> MarkovFluidModel:
+    """Small irreducible CTMCs with distinct non-negative rates."""
+    size = draw(st.integers(min_value=2, max_value=5))
+    raw = np.array(
+        [
+            [draw(st.floats(min_value=0.05, max_value=3.0)) for _ in range(size)]
+            for _ in range(size)
+        ]
+    )
+    generator = raw.copy()
+    np.fill_diagonal(generator, 0.0)
+    np.fill_diagonal(generator, -generator.sum(axis=1))
+    increments = [draw(st.floats(min_value=0.1, max_value=2.0)) for _ in range(size)]
+    rates = np.concatenate([[0.0], np.cumsum(increments)])[:size]
+    return MarkovFluidModel(generator=generator, rates=rates)
+
+
+class TestMmfqInvariants:
+    @given(random_models(), st.floats(min_value=0.05, max_value=3.0))
+    @settings(max_examples=30, deadline=None)
+    def test_loss_is_probability_and_monotone_in_buffer(self, model, buffer_size):
+        pi = model.stationary()
+        assert pi.sum() == pytest.approx(1.0, abs=1e-8)
+        # Service strictly inside (trough, peak) so both state classes exist.
+        service_rate = 0.5 * (model.rates[0] + model.rates[-1])
+        if service_rate <= 0.0:
+            return
+        small = mmfq_loss_rate(model, service_rate, buffer_size)
+        large = mmfq_loss_rate(model, service_rate, buffer_size * 2.0)
+        assert 0.0 <= large <= small + 1e-6 <= 1.0 + 1e-6
+
+    @given(random_models())
+    @settings(max_examples=30, deadline=None)
+    def test_zero_buffer_matches_stationary_excess(self, model):
+        service_rate = 0.5 * (model.rates[0] + model.rates[-1])
+        if service_rate <= 0.0:
+            return
+        loss = mmfq_loss_rate(model, service_rate, 0.0)
+        pi = model.stationary()
+        excess = float(pi @ np.maximum(model.rates - service_rate, 0.0))
+        assert loss == pytest.approx(excess / model.mean_rate, rel=1e-6)
+
+    @given(random_models())
+    @settings(max_examples=20, deadline=None)
+    def test_overflow_probability_decreasing(self, model):
+        service_rate = model.mean_rate * 1.3 + 1e-3
+        if service_rate >= model.rates[-1]:
+            return  # all states are down-states: trivial
+        levels = np.array([0.2, 1.0, 3.0])
+        overflow = mmfq_overflow_probability(model, service_rate, levels)
+        assert np.all(np.diff(overflow) <= 1e-9)
+        assert np.all((overflow >= 0.0) & (overflow <= 1.0))
+
+    @given(random_models())
+    @settings(max_examples=20, deadline=None)
+    def test_covariance_at_zero_is_variance(self, model):
+        pi = model.stationary()
+        variance = float(pi @ model.rates**2) - float(pi @ model.rates) ** 2
+        value = float(model.rate_autocovariance(np.array([0.0]))[0])
+        assert value == pytest.approx(variance, rel=1e-6, abs=1e-9)

@@ -1,0 +1,63 @@
+"""Tests for the reset-interval analysis behind the CH argument."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.horizon import correlation_horizon
+from repro.queueing.fluid_sim import inter_reset_times
+
+
+class TestInterResetTimes:
+    def test_deterministic_sawtooth(self):
+        # Alternate 10 bins of overload (+1/bin) and 10 bins of underload:
+        # the queue (B = 5, started at 2.5) pins at B then at 0, one reset
+        # per half-period.
+        rates = np.tile(np.concatenate([np.full(10, 2.0), np.zeros(10)]), 8)
+        times = inter_reset_times(rates, bin_width=1.0, service_rate=1.0, buffer_size=5.0)
+        assert times.size >= 10
+        # Resets alternate full/empty every 10 bins after the transient.
+        assert np.median(times) == pytest.approx(10.0, abs=1.0)
+
+    def test_no_resets_for_huge_buffer(self, rng):
+        rates = 1.0 + 0.01 * rng.standard_normal(500)
+        times = inter_reset_times(rates, 0.1, service_rate=1.0, buffer_size=1e6)
+        assert times.size == 0
+
+    def test_boundary_dwell_counts_once(self):
+        # Sustained overload: the queue hits B once and stays; a single
+        # reset event, so no intervals.
+        rates = np.full(100, 2.0)
+        times = inter_reset_times(rates, 1.0, service_rate=1.0, buffer_size=3.0)
+        assert times.size == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rates"):
+            inter_reset_times(np.array([]), 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError, match="buffer_size"):
+            inter_reset_times(np.array([1.0]), 1.0, 1.0, 0.0)
+
+    def test_mean_reset_time_grows_with_buffer(self, small_source, rng):
+        trace = small_source.rate_trace(duration=2000.0, bin_width=0.05, rng=rng)
+        service_rate = small_source.mean_rate / 0.8
+        small = inter_reset_times(trace, 0.05, service_rate, 0.2 * service_rate)
+        large = inter_reset_times(trace, 0.05, service_rate, 1.0 * service_rate)
+        assert small.size > large.size >= 2
+        assert large.mean() > small.mean()
+
+    def test_eq26_premise(self, small_source, rng):
+        """Eq. 26's premise: resets occur on the T_CH time scale.
+
+        The analytic horizon and the measured mean inter-reset time should
+        agree within an order of magnitude (Eq. 26 is a bound-flavoured
+        estimate, not an exact law).
+        """
+        trace = small_source.rate_trace(duration=4000.0, bin_width=0.05, rng=rng)
+        service_rate = small_source.mean_rate / 0.8
+        buffer_size = 0.5 * service_rate
+        observed = inter_reset_times(trace, 0.05, service_rate, buffer_size)
+        assert observed.size >= 10
+        analytic = correlation_horizon(small_source, buffer_size)
+        ratio = observed.mean() / analytic
+        assert 0.1 < ratio < 10.0

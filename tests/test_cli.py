@@ -1,0 +1,90 @@
+"""Tests for the repro-lrd command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_number_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "99"])
+
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.hurst == 0.8
+        assert args.utilization == 0.8
+
+
+class TestCommands:
+    def test_solve_prints_result(self, capsys):
+        code = main(["solve", "--hurst", "0.7", "--cutoff", "2.0", "--buffer", "0.3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "loss ~" in out
+
+    def test_horizon_prints_estimates(self, capsys):
+        code = main(["horizon", "--hurst", "0.75", "--buffer", "0.5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "eq26_horizon_s" in out
+        assert "norros_horizon_s" in out
+
+    def test_trace_mtv(self, capsys):
+        code = main(["trace", "mtv", "--bins", "1024"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean_epoch_s" in out
+        assert "alpha" in out
+
+    def test_trace_bellcore(self, capsys):
+        code = main(["trace", "bellcore", "--bins", "1024"])
+        assert code == 0
+        assert "theta" in capsys.readouterr().out
+
+    def test_figure_2_quick(self, capsys):
+        code = main(["figure", "2", "--quick"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig. 2" in out
+        assert "n=  5" in out or "n=5" in out.replace(" ", "")
+
+    def test_figure_3_quick_with_out(self, capsys, tmp_path):
+        target = tmp_path / "fig3.txt"
+        code = main(["figure", "3", "--quick", "--out", str(target)])
+        assert code == 0
+        assert target.exists()
+        assert "MTV marginal" in target.read_text()
+
+    def test_figure_6_quick(self, capsys):
+        code = main(["figure", "6", "--quick"])
+        assert code == 0
+        assert "shuffling" in capsys.readouterr().out
+
+    def test_list(self, capsys):
+        code = main(["list"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "figure  2" in out
+        assert "figure 14" in out
+        assert "correlation-horizon scaling" in out
+
+    def test_dimension(self, capsys):
+        code = main(["dimension", "--target-loss", "1e-3", "--buffer", "0.3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "effective_bandwidth" in out
+        assert "achievable_utilization" in out
+
+    def test_dimension_with_streams(self, capsys):
+        code = main(
+            ["dimension", "--target-loss", "1e-2", "--buffer", "0.2", "--streams", "4"]
+        )
+        assert code == 0
+        assert "Multiplexing gain" in capsys.readouterr().out

@@ -1,0 +1,45 @@
+"""Smoke tests for the example scripts.
+
+Each example must at least import cleanly and expose a ``main`` callable;
+the fastest one (quickstart) is executed end to end.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(path: pathlib.Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_exist():
+    names = {path.stem for path in EXAMPLE_FILES}
+    assert "quickstart" in names
+    assert len(names) >= 3  # the deliverable floor; we ship seven
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+def test_example_imports_and_has_main(path):
+    module = _load(path)
+    assert callable(getattr(module, "main", None)), f"{path.stem} lacks main()"
+    assert module.__doc__ and "Run:" in module.__doc__
+
+
+def test_quickstart_runs(capsys):
+    module = _load(EXAMPLES_DIR / "quickstart.py")
+    module.main()
+    out = capsys.readouterr().out
+    assert "loss rate" in out
+    assert "correlation horizon" in out

@@ -1,0 +1,47 @@
+"""Tests for the synthetic Bellcore trace."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.histogram import coefficient_of_variation
+from repro.traffic.ethernet import (
+    BELLCORE_BIN_WIDTH,
+    BELLCORE_LINK_RATE,
+    BELLCORE_MEAN_RATE,
+    synthesize_bellcore_trace,
+)
+from repro.traffic.video import synthesize_mtv_trace
+
+
+class TestSynthesis:
+    def test_defaults(self, bellcore_trace_small):
+        assert bellcore_trace_small.bin_width == pytest.approx(BELLCORE_BIN_WIDTH)
+        assert bellcore_trace_small.name == "Bellcore-synthetic"
+
+    def test_respects_link_rate(self, bellcore_trace_small):
+        assert bellcore_trace_small.peak_rate <= BELLCORE_LINK_RATE + 1e-9
+        assert np.all(bellcore_trace_small.rates >= 0.0)
+
+    def test_mean_restored_after_clipping(self):
+        trace = synthesize_bellcore_trace(n_bins=16384, seed=3)
+        assert trace.mean_rate == pytest.approx(BELLCORE_MEAN_RATE, rel=0.02)
+
+    def test_reproducible_by_seed(self):
+        a = synthesize_bellcore_trace(n_bins=512, seed=1)
+        b = synthesize_bellcore_trace(n_bins=512, seed=1)
+        np.testing.assert_array_equal(a.rates, b.rates)
+
+    def test_burstier_than_video(self, bellcore_trace_small, mtv_trace_small):
+        # The property Fig. 9 exploits: the Ethernet marginal is much wider
+        # relative to its mean than the video marginal.
+        bc_cv = coefficient_of_variation(bellcore_trace_small.marginal(50))
+        mtv_cv = coefficient_of_variation(mtv_trace_small.marginal(50))
+        assert bc_cv > 2.0 * mtv_cv
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError, match="n_bins"):
+            synthesize_bellcore_trace(n_bins=1)
+        with pytest.raises(ValueError, match="link rate"):
+            synthesize_bellcore_trace(n_bins=128, mean_rate=20.0)

@@ -1,0 +1,71 @@
+"""Tests for the exact interval-to-bin busy-time accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traffic._intervals import binned_busy_time
+
+
+class TestBinnedBusyTime:
+    def test_single_interval_spanning_bins(self):
+        busy = binned_busy_time(
+            np.array([0.5]), np.array([2.5]), np.array([0.0, 1.0, 2.0, 3.0])
+        )
+        np.testing.assert_allclose(busy, [0.5, 1.0, 0.5])
+
+    def test_interval_inside_one_bin(self):
+        busy = binned_busy_time(np.array([1.2]), np.array([1.4]), np.array([0.0, 1.0, 2.0]))
+        np.testing.assert_allclose(busy, [0.0, 0.2], atol=1e-12)
+
+    def test_overlapping_intervals_add(self):
+        busy = binned_busy_time(
+            np.array([0.0, 0.5]), np.array([1.0, 1.5]), np.array([0.0, 1.0, 2.0])
+        )
+        np.testing.assert_allclose(busy, [1.5, 0.5])
+
+    def test_interval_outside_grid_ignored(self):
+        busy = binned_busy_time(np.array([5.0]), np.array([6.0]), np.array([0.0, 1.0]))
+        np.testing.assert_allclose(busy, [0.0])
+
+    def test_empty_intervals(self):
+        busy = binned_busy_time(np.array([]), np.array([]), np.array([0.0, 1.0, 2.0]))
+        np.testing.assert_allclose(busy, [0.0, 0.0])
+
+    def test_zero_length_interval(self):
+        busy = binned_busy_time(np.array([0.5]), np.array([0.5]), np.array([0.0, 1.0]))
+        np.testing.assert_allclose(busy, [0.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="end >= start"):
+            binned_busy_time(np.array([1.0]), np.array([0.5]), np.array([0.0, 1.0]))
+        with pytest.raises(ValueError, match="increasing"):
+            binned_busy_time(np.array([0.0]), np.array([1.0]), np.array([1.0, 0.0]))
+        with pytest.raises(ValueError, match="same shape"):
+            binned_busy_time(np.array([0.0]), np.array([1.0, 2.0]), np.array([0.0, 1.0]))
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=10.0),
+                st.floats(min_value=0.0, max_value=5.0),
+            ),
+            min_size=1,
+            max_size=30,
+        ),
+        st.integers(min_value=1, max_value=20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_total_busy_time_conserved(self, raw_intervals, n_bins):
+        starts = np.array([s for s, _ in raw_intervals])
+        ends = starts + np.array([d for _, d in raw_intervals])
+        edges = np.linspace(0.0, 15.0, n_bins + 1)
+        busy = binned_busy_time(starts, ends, edges)
+        # All intervals lie inside the grid, so per-bin overlaps must add up
+        # to the total interval length.
+        assert busy.sum() == pytest.approx((ends - starts).sum(), abs=1e-8)
+        assert np.all(busy >= 0.0)
+        assert np.all(busy <= np.diff(edges) * len(raw_intervals) + 1e-9)

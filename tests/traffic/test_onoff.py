@@ -1,0 +1,86 @@
+"""Tests for heavy-tailed on/off source aggregation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.truncated_pareto import TruncatedPareto
+from repro.traffic.onoff import OnOffSource, aggregate_onoff_rates
+
+
+@pytest.fixture
+def source() -> OnOffSource:
+    return OnOffSource.symmetric(alpha=1.4, mean_period=0.5, peak_rate=2.0)
+
+
+class TestOnOffSource:
+    def test_symmetric_mean_rate(self, source):
+        # Identical on/off laws: on half the time.
+        assert source.mean_rate == pytest.approx(1.0)
+
+    def test_hurst_mapping(self, source):
+        assert source.hurst == pytest.approx((3.0 - 1.4) / 2.0)
+
+    def test_hurst_uses_heavier_tail(self):
+        on = TruncatedPareto.from_mean_interval(0.5, alpha=1.8)
+        off = TruncatedPareto.from_mean_interval(0.5, alpha=1.2)
+        source = OnOffSource(on_law=on, off_law=off, peak_rate=1.0)
+        assert source.hurst == pytest.approx((3.0 - 1.2) / 2.0)
+
+    def test_rejects_bad_peak(self):
+        law = TruncatedPareto.from_mean_interval(0.5, alpha=1.5)
+        with pytest.raises(ValueError, match="peak_rate"):
+            OnOffSource(on_law=law, off_law=law, peak_rate=0.0)
+
+    def test_on_intervals_within_window(self, source, rng):
+        starts, ends = source.on_intervals(duration=100.0, rng=rng)
+        assert np.all(starts >= 0.0)
+        assert np.all(ends <= 100.0)
+        assert np.all(ends >= starts)
+        # Disjoint and ordered per source.
+        assert np.all(starts[1:] >= ends[:-1] - 1e-12)
+
+    def test_on_fraction_near_half(self, source, rng):
+        starts, ends = source.on_intervals(duration=4000.0, rng=rng)
+        fraction = (ends - starts).sum() / 4000.0
+        assert fraction == pytest.approx(0.5, abs=0.12)  # heavy tails converge slowly
+
+
+class TestAggregate:
+    def test_shape_and_nonnegativity(self, rng):
+        rates = aggregate_onoff_rates(
+            sources=5, duration=20.0, bin_width=0.1, rng=rng, alpha=1.5, mean_period=0.3
+        )
+        assert rates.shape == (200,)
+        assert np.all(rates >= 0.0)
+        assert np.all(rates <= 5.0 + 1e-9)
+
+    def test_mean_rate(self, rng):
+        rates = aggregate_onoff_rates(
+            sources=20,
+            duration=400.0,
+            bin_width=0.2,
+            rng=rng,
+            alpha=1.6,
+            mean_period=0.2,
+            peak_rate=1.0,
+        )
+        assert rates.mean() == pytest.approx(10.0, rel=0.15)
+
+    def test_rejects_bad_arguments(self, rng):
+        with pytest.raises(ValueError, match="sources"):
+            aggregate_onoff_rates(sources=0, duration=1.0, bin_width=0.1, rng=rng)
+        with pytest.raises(ValueError, match="one bin"):
+            aggregate_onoff_rates(sources=1, duration=0.05, bin_width=0.1, rng=rng)
+
+    def test_aggregate_is_lrd(self, rng):
+        from repro.analysis.hurst import variance_time_hurst
+
+        rates = aggregate_onoff_rates(
+            sources=30, duration=2000.0, bin_width=0.1, rng=rng, alpha=1.3, mean_period=0.2
+        )
+        estimate = variance_time_hurst(rates)
+        # Target H = 0.85; the estimator is biased but must clearly exceed
+        # the SRD value of 0.5.
+        assert estimate.hurst > 0.65

@@ -1,0 +1,79 @@
+"""Tests for the spurious-LRD (non-stationary SRD) generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.hurst import periodogram_hurst, variance_time_hurst
+from repro.analysis.whittle import whittle_hurst
+from repro.traffic.spurious import (
+    ar1_process,
+    dirac_pulse_process,
+    hyperbolic_trend_process,
+    level_shift_process,
+)
+
+N = 32768
+
+
+class TestAr1:
+    def test_moments(self, rng):
+        path = ar1_process(N, 0.5, rng, mean=2.0, std=1.5)
+        assert path.mean() == pytest.approx(2.0, abs=0.15)
+        assert path.std() == pytest.approx(1.5, rel=0.1)
+
+    def test_lag_one_correlation(self, rng):
+        path = ar1_process(N, 0.6, rng)
+        centered = path - path.mean()
+        rho = float(np.mean(centered[:-1] * centered[1:]) / np.mean(centered**2))
+        assert rho == pytest.approx(0.6, abs=0.05)
+
+    def test_is_genuinely_srd(self, rng):
+        path = ar1_process(N, 0.3, rng)
+        estimate = variance_time_hurst(path, min_block=32)
+        assert estimate.hurst == pytest.approx(0.5, abs=0.1)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="coefficient"):
+            ar1_process(100, 1.0, rng)
+        with pytest.raises(ValueError, match="length"):
+            ar1_process(1, 0.5, rng)
+
+
+class TestSpuriousLrd:
+    """Each confounder is SRD/non-stationary yet reads as H >> 1/2."""
+
+    def test_level_shifts_fool_variance_time(self, rng):
+        clean = ar1_process(N, 0.3, np.random.default_rng(1))
+        shifty = level_shift_process(N, np.random.default_rng(1), mean_run=1024)
+        h_clean = variance_time_hurst(clean).hurst
+        h_shifty = variance_time_hurst(shifty).hurst
+        assert h_clean < 0.62
+        assert h_shifty > h_clean + 0.15
+
+    def test_hyperbolic_trend_fools_estimators(self):
+        trended = hyperbolic_trend_process(
+            N, np.random.default_rng(2), trend_scale=5.0, beta=0.3
+        )
+        assert variance_time_hurst(trended).hurst > 0.65
+
+    def test_durational_pulses_inflate_estimates(self):
+        clean = ar1_process(N, 0.3, np.random.default_rng(3))
+        pulsed = dirac_pulse_process(N, np.random.default_rng(3))
+        assert whittle_hurst(pulsed).hurst > whittle_hurst(clean).hurst + 0.1
+        assert variance_time_hurst(pulsed).hurst > variance_time_hurst(clean).hurst + 0.2
+
+    def test_level_shift_mean_jumps(self, rng):
+        path = level_shift_process(4096, rng, mean_run=256, shift_std=4.0)
+        # Block means must vary far more than an SRD process allows.
+        blocks = path[:4096].reshape(16, 256).mean(axis=1)
+        assert blocks.std() > 0.5
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="mean_run"):
+            level_shift_process(100, rng, mean_run=1)
+        with pytest.raises(ValueError, match="beta"):
+            hyperbolic_trend_process(100, rng, beta=1.5)
+        with pytest.raises(ValueError, match="pulse_probability"):
+            dirac_pulse_process(100, rng, pulse_probability=2.0)

@@ -1,0 +1,50 @@
+"""Tests for the synthetic MTV trace."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.wavelet import wavelet_hurst
+from repro.traffic.video import MTV_FRAME_INTERVAL, MTV_MEAN_RATE, synthesize_mtv_trace
+
+
+class TestSynthesis:
+    def test_defaults(self, mtv_trace_small):
+        assert mtv_trace_small.bin_width == pytest.approx(MTV_FRAME_INTERVAL)
+        assert mtv_trace_small.name == "MTV-synthetic"
+        assert np.all(mtv_trace_small.rates > 0.0)
+
+    def test_mean_near_target(self, mtv_trace_small):
+        # LRD sample means wander; 15 % is a generous but meaningful band.
+        assert mtv_trace_small.mean_rate == pytest.approx(MTV_MEAN_RATE, rel=0.15)
+
+    def test_reproducible_by_seed(self):
+        a = synthesize_mtv_trace(n_frames=512, seed=1)
+        b = synthesize_mtv_trace(n_frames=512, seed=1)
+        np.testing.assert_array_equal(a.rates, b.rates)
+        c = synthesize_mtv_trace(n_frames=512, seed=2)
+        assert not np.array_equal(a.rates, c.rates)
+
+    def test_explicit_rng_wins_over_seed(self, rng):
+        a = synthesize_mtv_trace(n_frames=512, rng=np.random.default_rng(7), seed=1)
+        b = synthesize_mtv_trace(n_frames=512, rng=np.random.default_rng(7), seed=2)
+        np.testing.assert_array_equal(a.rates, b.rates)
+
+    def test_marginal_is_compact(self, mtv_trace_small):
+        # Video CV ~ 0.3: a compact unimodal marginal (unlike Bellcore).
+        cv = mtv_trace_small.rate_std / mtv_trace_small.mean_rate
+        assert 0.15 < cv < 0.5
+
+    def test_hurst_near_target(self):
+        trace = synthesize_mtv_trace(n_frames=16384, seed=42)
+        estimate = wavelet_hurst(trace.rates)
+        assert estimate.hurst == pytest.approx(0.83, abs=0.12)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError, match="n_frames"):
+            synthesize_mtv_trace(n_frames=1)
+        with pytest.raises(ValueError, match="hurst"):
+            synthesize_mtv_trace(n_frames=128, hurst=0.4)
+        with pytest.raises(ValueError, match="gamma_shape"):
+            synthesize_mtv_trace(n_frames=128, gamma_shape=0.0)
