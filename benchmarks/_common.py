@@ -9,12 +9,11 @@ from __future__ import annotations
 
 import os
 
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+from repro.experiments.paperconfig import DEFAULT_TRACE_BINS as TRACE_BINS
 
-# Trace length shared by all benchmarks; long enough for stable statistics,
-# short enough to keep a full run in the minutes range.  (The paper's traces
-# are 107 892 and 360 000 samples.)
-TRACE_BINS = 32768
+__all__ = ["RESULTS_DIR", "TRACE_BINS", "persist", "run_once"]
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
 def persist(name: str, text: str) -> None:

@@ -41,7 +41,9 @@ def test_ablation_horizon_estimators(benchmark):
     def run():
         empirical, eq26, clt, norros, cts = [], [], [], [], []
         for buffer_seconds in BUFFERS:
-            _, losses = sweep_cutoff(source, UTILIZATION, float(buffer_seconds), CUTOFFS)
+            _, losses = sweep_cutoff(
+                source, UTILIZATION, float(buffer_seconds), CUTOFFS
+            ).row_series(0)
             empirical.append(empirical_horizon(CUTOFFS, losses, relative_band=0.25))
             buffer_size = buffer_seconds * service_rate
             eq26.append(correlation_horizon(source, buffer_size))

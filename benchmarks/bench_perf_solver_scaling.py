@@ -6,21 +6,30 @@ geometrically growing bin counts for both engines and fits the empirical
 scaling exponents: the FFT engine should grow roughly linearly in M (the
 log factor is invisible over this range), the direct engine roughly
 quadratically.
+
+A second benchmark times a Fig. 4-style sweep grid through the execution
+engine, serial vs `ProcessPoolBackend` — grid cells are embarrassingly
+parallel, so the pool should approach linear speedup on multi-core hosts
+while producing bit-identical losses.
 """
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
 
 from _common import persist, run_once
 from repro.core.marginal import DiscreteMarginal
-from repro.core.solver import _BoundedChains
+from repro.core.solver import SolverConfig, _BoundedChains
 from repro.core.source import CutoffFluidSource
 from repro.core.truncated_pareto import TruncatedPareto
 from repro.core.workload import WorkloadLaw
-from repro.experiments.reporting import format_series
+from repro.exec import ProcessPoolBackend, SweepEngine
+from repro.experiments import paperconfig
+from repro.experiments.reporting import format_mapping, format_series
+from repro.experiments.sweeps import sweep_buffer_cutoff
 
 BINS = np.array([256, 512, 1024, 2048, 4096])
 STEPS = 12
@@ -70,3 +79,63 @@ def test_perf_solver_scaling(benchmark):
     assert direct_exponent > fft_exponent + 0.4
     assert fft_exponent < 1.6
     assert direct_exponent > 1.5
+
+
+# --------------------------------------------------------------------- #
+# serial vs process-pool sweep execution (Fig. 4 grid shape)
+# --------------------------------------------------------------------- #
+
+_SWEEP_CONFIG = SolverConfig(relative_gap=0.3, max_iterations=20_000)
+
+
+def _sweep_source() -> CutoffFluidSource:
+    return CutoffFluidSource(
+        marginal=DiscreteMarginal(rates=[0.0, 2.0], probs=[0.5, 0.5]),
+        interarrival=TruncatedPareto(theta=0.1, alpha=1.4, cutoff=100.0),
+    )
+
+
+def test_perf_engine_parallel(benchmark):
+    source = _sweep_source()
+    buffers = paperconfig.buffer_grid(4)
+    cutoffs = paperconfig.cutoff_grid(4)
+    jobs = os.cpu_count() or 1
+
+    def timed_sweep(engine: SweepEngine) -> tuple[np.ndarray, float]:
+        start = time.perf_counter()
+        surface = sweep_buffer_cutoff(
+            source, paperconfig.MTV_UTILIZATION, buffers, cutoffs,
+            config=_SWEEP_CONFIG, engine=engine,
+        )
+        return surface.losses, time.perf_counter() - start
+
+    def run():
+        serial_losses, serial_seconds = timed_sweep(SweepEngine())
+        pool_losses, pool_seconds = timed_sweep(
+            SweepEngine(backend=ProcessPoolBackend(jobs=jobs))
+        )
+        return serial_losses, serial_seconds, pool_losses, pool_seconds
+
+    serial_losses, serial_seconds, pool_losses, pool_seconds = run_once(benchmark, run)
+
+    text = format_mapping(
+        {
+            "grid_cells": float(buffers.size * cutoffs.size),
+            "workers": float(jobs),
+            "serial_s": serial_seconds,
+            "parallel_s": pool_seconds,
+            "speedup": serial_seconds / max(pool_seconds, 1e-9),
+        },
+        "Performance — serial vs ProcessPoolBackend on a Fig. 4 grid",
+    )
+    text += (
+        "\n\n(parallel losses match the serial losses bit for bit; the pool "
+        "pays process start-up cost, so speedup needs multiple cores)"
+    )
+    persist("perf_engine_parallel", text)
+    # The backends must agree exactly — parallelism may not change numbers.
+    np.testing.assert_array_equal(pool_losses, serial_losses)
+    # Speedup is only observable with real cores; single-CPU runners just
+    # record the overhead.
+    if jobs >= 4:
+        assert pool_seconds < serial_seconds

@@ -43,7 +43,7 @@ def main() -> None:
     rows: dict[str, np.ndarray] = {}
     horizons: dict[float, dict[str, float]] = {}
     for buffer_seconds in BUFFERS_SECONDS:
-        _, losses = sweep_cutoff(source, UTILIZATION, buffer_seconds, CUTOFFS)
+        _, losses = sweep_cutoff(source, UTILIZATION, buffer_seconds, CUTOFFS).row_series(0)
         rows[f"loss@B={buffer_seconds:g}s"] = losses
         buffer_size = buffer_seconds * service_rate
         reference = source.with_cutoff(float(CUTOFFS[-1]))

@@ -12,6 +12,21 @@ Subcommands
     Analytic correlation-horizon estimates for the same source.
 ``trace``
     Synthesize a reference trace and print its calibration statistics.
+
+Execution-engine flags (``figure`` and ``solve``)
+-------------------------------------------------
+``--jobs N``
+    Solve sweep cells on a pool of N worker processes
+    (``repro-lrd figure 4 --jobs 4``); the default runs serially.
+``--no-cache``
+    Disable the persistent solve cache for this invocation.
+``--cache-dir DIR``
+    Cache location; defaults to ``$REPRO_LRD_CACHE_DIR`` or
+    ``~/.cache/repro-lrd``.  A warm cache replays previously solved
+    cells without running a single solver iteration.
+
+Solver-driven commands report cache hits/misses, solver iterations and
+timing on stderr after the table.
 """
 
 from __future__ import annotations
@@ -20,12 +35,15 @@ import argparse
 import math
 import sys
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
+if TYPE_CHECKING:  # pragma: no cover - import for annotations only
+    from repro.exec import SweepEngine
+
 from repro.core.horizon import correlation_horizon, norros_horizon
 from repro.core.marginal import DiscreteMarginal
-from repro.core.solver import solve_loss_rate
 from repro.core.source import CutoffFluidSource
 from repro.experiments import figures, reporting
 
@@ -47,6 +65,7 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("number", type=int, choices=range(2, 15), help="figure number (2-14)")
     figure.add_argument("--quick", action="store_true", help="coarser grids, shorter traces")
     figure.add_argument("--out", default=None, help="also write the table to this file")
+    _add_engine_flags(figure)
 
     solve = sub.add_parser("solve", help="loss rate of an on/off cutoff fluid source")
     solve.add_argument("--hurst", type=float, default=0.8)
@@ -56,6 +75,7 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--mean-interval", type=float, default=0.05, help="mean epoch, seconds")
     solve.add_argument("--peak", type=float, default=2.0, help="ON rate (OFF rate is 0)")
     solve.add_argument("--on-probability", type=float, default=0.5)
+    _add_engine_flags(solve)
 
     horizon = sub.add_parser("horizon", help="analytic correlation-horizon estimates")
     horizon.add_argument("--hurst", type=float, default=0.8)
@@ -90,6 +110,58 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    """Sweep-execution flags shared by the solver-driven subcommands."""
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for sweep cells (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent solve cache",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="solve-cache directory (default: $REPRO_LRD_CACHE_DIR or ~/.cache/repro-lrd)",
+    )
+
+
+def _build_engine(args: argparse.Namespace) -> "SweepEngine":
+    """Construct the sweep engine the figure/solve subcommands run on."""
+    from repro.exec import SolveCache, SweepEngine, resolve_backend
+
+    if args.no_cache:
+        cache = None
+    else:
+        try:
+            cache = SolveCache(args.cache_dir)
+        except ValueError as error:
+            raise SystemExit(f"repro-lrd: {error}") from None
+
+    def progress(done: int, total: int, cell) -> None:
+        if total > 1:
+            tag = "cache" if cell.cached else f"{cell.seconds:.2f}s"
+            print(f"  [{done}/{total}] cell {cell.index} ({tag})",
+                  file=sys.stderr, flush=True)
+
+    return SweepEngine(
+        backend=resolve_backend(args.jobs), cache=cache, progress=progress
+    )
+
+
+def _print_engine_summary(engine: "SweepEngine") -> None:
+    telemetry = engine.telemetry
+    if telemetry.total_cells == 0:
+        return
+    print(
+        f"engine: {telemetry.total_cells} cells, "
+        f"{telemetry.cache_hits} cache hits, {telemetry.cache_misses} misses, "
+        f"{telemetry.solver_iterations} solver iterations, "
+        f"{telemetry.solve_seconds:.2f}s solving",
+        file=sys.stderr,
+    )
+
+
 def _onoff_source(args: argparse.Namespace) -> CutoffFluidSource:
     marginal = DiscreteMarginal.two_state(
         low=0.0, high=args.peak, prob_high=args.on_probability
@@ -102,10 +174,10 @@ def _onoff_source(args: argparse.Namespace) -> CutoffFluidSource:
     )
 
 
-def _run_figure(args: argparse.Namespace) -> str:
+def _run_figure(args: argparse.Namespace, engine: "SweepEngine") -> str:
     from repro.experiments.runner import run_figure
 
-    return run_figure(args.number, quick=args.quick)
+    return run_figure(args.number, quick=args.quick, engine=engine)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -121,16 +193,22 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     if args.command == "figure":
-        text = _run_figure(args)
+        engine = _build_engine(args)
+        text = _run_figure(args, engine)
         print(text)
+        _print_engine_summary(engine)
         if args.out:
             reporting.write_report(args.out, text)
         return 0
 
     if args.command == "solve":
+        from repro.exec import SolveTask
+
+        engine = _build_engine(args)
         source = _onoff_source(args)
-        result = solve_loss_rate(source, args.utilization, args.buffer)
+        result = engine.solve(SolveTask(source, args.utilization, args.buffer))
         print(result)
+        _print_engine_summary(engine)
         return 0
 
     if args.command == "horizon":

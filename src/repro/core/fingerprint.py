@@ -1,0 +1,158 @@
+"""Stable content fingerprints for the core value objects.
+
+The sweep execution engine (:mod:`repro.exec`) keys its persistent solve
+cache on *what* is being solved, not on object identity: two
+:class:`~repro.core.source.CutoffFluidSource` instances built from the
+same trace in different processes must produce the same key.  Python's
+built-in ``hash`` is unsuitable (salted per process, undefined for numpy
+arrays), so this module serializes each value object into a canonical
+JSON-able payload and hashes that with SHA-256.
+
+Exactness rules:
+
+* every float is encoded with :meth:`float.hex` (lossless, locale-free);
+  ``inf``/``-inf``/``nan`` get fixed tokens;
+* arrays are encoded element-wise in order;
+* ``SolverConfig is None`` is normalized to the default config, because
+  the solver treats them identically;
+* payloads carry a ``kind`` tag and the module-level ``PAYLOAD_VERSION``
+  participates in every hash, so changing the encoding invalidates old
+  cache entries instead of aliasing them.
+
+The same payloads double as a process-boundary-safe wire format:
+:func:`restore` rebuilds the object on the other side (pickle is used for
+in-memory dispatch because it bypasses ``__post_init__`` renormalization
+bit-exactly, but the payload form is what defines cache identity).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from typing import Any
+
+import numpy as np
+
+from repro.core.marginal import DiscreteMarginal
+from repro.core.solver import SolverConfig
+from repro.core.source import CutoffFluidSource
+from repro.core.truncated_pareto import TruncatedPareto
+
+__all__ = ["PAYLOAD_VERSION", "payload_of", "restore", "stable_hash"]
+
+PAYLOAD_VERSION = 1
+"""Bump when the payload encoding changes; participates in every hash."""
+
+
+def _encode_float(value: float) -> str:
+    value = float(value)
+    if math.isnan(value):
+        return "nan"
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    return value.hex()
+
+
+def _decode_float(token: str) -> float:
+    if token == "nan":
+        return math.nan
+    if token == "inf":
+        return math.inf
+    if token == "-inf":
+        return -math.inf
+    return float.fromhex(token)
+
+
+def _encode_array(values: np.ndarray) -> list[str]:
+    return [_encode_float(v) for v in np.asarray(values, dtype=np.float64).ravel()]
+
+
+def _decode_array(tokens: list[str]) -> np.ndarray:
+    return np.array([_decode_float(t) for t in tokens], dtype=np.float64)
+
+
+def payload_of(obj: Any) -> dict:
+    """Canonical JSON-able payload of a supported core value object."""
+    if isinstance(obj, TruncatedPareto):
+        return {
+            "kind": "truncated_pareto",
+            "theta": _encode_float(obj.theta),
+            "alpha": _encode_float(obj.alpha),
+            "cutoff": _encode_float(obj.cutoff),
+        }
+    if isinstance(obj, DiscreteMarginal):
+        return {
+            "kind": "discrete_marginal",
+            "rates": _encode_array(obj.rates),
+            "probs": _encode_array(obj.probs),
+        }
+    if isinstance(obj, CutoffFluidSource):
+        return {
+            "kind": "cutoff_fluid_source",
+            "marginal": payload_of(obj.marginal),
+            "interarrival": payload_of(obj.interarrival),
+        }
+    if obj is None or isinstance(obj, SolverConfig):
+        config = obj or SolverConfig()
+        return {
+            "kind": "solver_config",
+            "initial_bins": config.initial_bins,
+            "max_bins": config.max_bins,
+            "relative_gap": _encode_float(config.relative_gap),
+            "negligible_loss": _encode_float(config.negligible_loss),
+            "block_iterations": config.block_iterations,
+            "max_iterations": config.max_iterations,
+            "stall_relative_change": _encode_float(config.stall_relative_change),
+            "use_fft": bool(config.use_fft),
+        }
+    raise TypeError(f"no canonical payload for objects of type {type(obj).__name__}")
+
+
+def restore(payload: dict) -> Any:
+    """Rebuild a core value object from its :func:`payload_of` payload.
+
+    Note the constructors re-run validation (and probability
+    renormalization), so restored objects are semantically — not always
+    bit-for-bit — equal; use pickle when exact bits must survive a
+    process boundary.
+    """
+    kind = payload.get("kind")
+    if kind == "truncated_pareto":
+        return TruncatedPareto(
+            theta=_decode_float(payload["theta"]),
+            alpha=_decode_float(payload["alpha"]),
+            cutoff=_decode_float(payload["cutoff"]),
+        )
+    if kind == "discrete_marginal":
+        return DiscreteMarginal(
+            rates=_decode_array(payload["rates"]),
+            probs=_decode_array(payload["probs"]),
+        )
+    if kind == "cutoff_fluid_source":
+        return CutoffFluidSource(
+            marginal=restore(payload["marginal"]),
+            interarrival=restore(payload["interarrival"]),
+        )
+    if kind == "solver_config":
+        return SolverConfig(
+            initial_bins=int(payload["initial_bins"]),
+            max_bins=int(payload["max_bins"]),
+            relative_gap=_decode_float(payload["relative_gap"]),
+            negligible_loss=_decode_float(payload["negligible_loss"]),
+            block_iterations=int(payload["block_iterations"]),
+            max_iterations=int(payload["max_iterations"]),
+            stall_relative_change=_decode_float(payload["stall_relative_change"]),
+            use_fft=bool(payload["use_fft"]),
+        )
+    raise ValueError(f"unknown payload kind {kind!r}")
+
+
+def stable_hash(payload: dict) -> str:
+    """SHA-256 hex digest of a canonical payload (process- and run-stable)."""
+    material = json.dumps(
+        {"version": PAYLOAD_VERSION, "payload": payload},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(material.encode("ascii")).hexdigest()

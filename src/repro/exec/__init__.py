@@ -1,0 +1,32 @@
+"""Sweep execution engine: declarative tasks, backends, cache, telemetry.
+
+Every paper figure is a grid of independent loss-rate solves.  This
+package turns those grids into data (:class:`SolveTask` /
+:class:`SweepPlan`), executes them through pluggable backends
+(:class:`SerialBackend`, :class:`ProcessPoolBackend`), memoizes results
+in a persistent content-addressed :class:`SolveCache`, and reports
+per-cell :class:`CellTelemetry` through :class:`SweepTelemetry`.
+
+The serial backend reproduces the legacy hand-rolled sweep loops bit for
+bit; the process-pool backend produces identical numbers in parallel.
+"""
+
+from repro.exec.backends import ProcessPoolBackend, SerialBackend, resolve_backend
+from repro.exec.cache import SolveCache, default_cache_dir
+from repro.exec.engine import SweepEngine
+from repro.exec.task import SolveTask, SweepPlan
+from repro.exec.telemetry import CellTelemetry, ProgressCallback, SweepTelemetry
+
+__all__ = [
+    "SolveTask",
+    "SweepPlan",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "resolve_backend",
+    "SolveCache",
+    "default_cache_dir",
+    "SweepEngine",
+    "CellTelemetry",
+    "SweepTelemetry",
+    "ProgressCallback",
+]

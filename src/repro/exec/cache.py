@@ -1,0 +1,133 @@
+"""Persistent on-disk cache of solver results.
+
+Solve results are immutable functions of their task parameters, so the
+cache is content-addressed: the key is the SHA-256 fingerprint of the
+task payload (see :mod:`repro.core.fingerprint`), and the value is the
+full :class:`~repro.core.results.LossRateResult`.  Storage is a JSON-lines
+file (one record per line, append-only) under a configurable directory —
+human-inspectable, concatenation-safe, and trivially merged across
+machines.
+
+Invalidation is by key construction, not by mutation: any change to a
+task parameter or to the payload encoding (``PAYLOAD_VERSION``) yields a
+different key, so stale entries are never *read* — they just age in the
+file.  Deleting the cache directory is always safe.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.core.results import LossRateResult
+
+__all__ = ["SolveCache", "default_cache_dir"]
+
+_CACHE_FILENAME = "solve_cache.jsonl"
+
+
+def default_cache_dir() -> str:
+    """The cache location used when none is given.
+
+    ``REPRO_LRD_CACHE_DIR`` overrides; otherwise
+    ``$XDG_CACHE_HOME/repro-lrd`` (defaulting to ``~/.cache/repro-lrd``).
+    """
+    override = os.environ.get("REPRO_LRD_CACHE_DIR")
+    if override:
+        return override
+    xdg = os.environ.get("XDG_CACHE_HOME") or os.path.join("~", ".cache")
+    return os.path.join(os.path.expanduser(xdg), "repro-lrd")
+
+
+class SolveCache:
+    """JSON-lines store mapping task fingerprints to solver results.
+
+    The whole store is loaded into memory on first access (records are a
+    few hundred bytes each); writes append both in memory and on disk, so
+    a warm rerun of any sweep costs one file read.
+    """
+
+    def __init__(self, directory: str | os.PathLike[str] | None = None) -> None:
+        self.directory = Path(directory) if directory is not None else Path(default_cache_dir())
+        if self.directory.exists() and not self.directory.is_dir():
+            raise ValueError(f"cache directory {self.directory} is not a directory")
+        self.path = self.directory / _CACHE_FILENAME
+        self.hits = 0
+        self.misses = 0
+        self._store: dict[str, LossRateResult] | None = None
+
+    # ------------------------------------------------------------------ #
+    # storage
+    # ------------------------------------------------------------------ #
+
+    def _load(self) -> dict[str, LossRateResult]:
+        if self._store is None:
+            store: dict[str, LossRateResult] = {}
+            if self.path.exists():
+                with self.path.open("r", encoding="utf-8") as handle:
+                    for line in handle:
+                        line = line.strip()
+                        if not line:
+                            continue
+                        try:
+                            record = json.loads(line)
+                            store[record["key"]] = _result_from_record(record)
+                        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                            continue  # skip truncated/corrupt lines, keep the rest
+            self._store = store
+        return self._store
+
+    def __len__(self) -> int:
+        return len(self._load())
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._load()
+
+    def get(self, key: str) -> LossRateResult | None:
+        """Look up a result, counting the hit or miss."""
+        result = self._load().get(key)
+        if result is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return result
+
+    def put(self, key: str, result: LossRateResult) -> None:
+        """Store a result in memory and append it to the JSONL file."""
+        store = self._load()
+        if key in store:
+            return
+        store[key] = result
+        self.directory.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(_record_from_result(key, result)) + "\n")
+
+    def clear(self) -> None:
+        """Drop every entry (memory and disk)."""
+        self._store = {}
+        if self.path.exists():
+            self.path.unlink()
+
+
+def _record_from_result(key: str, result: LossRateResult) -> dict:
+    return {
+        "key": key,
+        "lower": result.lower,
+        "upper": result.upper,
+        "iterations": result.iterations,
+        "bins": result.bins,
+        "converged": result.converged,
+        "negligible": result.negligible,
+    }
+
+
+def _result_from_record(record: dict) -> LossRateResult:
+    return LossRateResult(
+        lower=float(record["lower"]),
+        upper=float(record["upper"]),
+        iterations=int(record["iterations"]),
+        bins=int(record["bins"]),
+        converged=bool(record["converged"]),
+        negligible=bool(record["negligible"]),
+    )

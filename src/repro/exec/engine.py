@@ -1,0 +1,120 @@
+"""The sweep execution engine: cache, backend and telemetry in one place.
+
+The engine is the single chokepoint through which every solver-driven
+grid in the repository runs — the five ``sweep_*`` builders, the figure
+registry, the CLI and the benchmarks.  Responsibilities:
+
+1. consult the persistent :class:`~repro.exec.cache.SolveCache` (when
+   configured) and only dispatch cache misses;
+2. hand the remaining cells to the configured backend (serial or process
+   pool);
+3. record per-cell :class:`~repro.exec.telemetry.CellTelemetry` and drive
+   the optional progress callback;
+4. write fresh results back to the cache.
+
+A default-constructed engine (serial backend, no cache) performs exactly
+the same computations in exactly the same order as the legacy hand-rolled
+loops, which is what keeps the refactored sweeps bit-identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.results import LossRateResult
+from repro.exec.backends import SerialBackend
+from repro.exec.cache import SolveCache
+from repro.exec.task import SolveTask, SweepPlan
+from repro.exec.telemetry import CellTelemetry, ProgressCallback, SweepTelemetry
+
+__all__ = ["SweepEngine"]
+
+
+class SweepEngine:
+    """Executes :class:`~repro.exec.task.SweepPlan` grids and single tasks.
+
+    Parameters
+    ----------
+    backend:
+        A :class:`~repro.exec.backends.SerialBackend` (default) or
+        :class:`~repro.exec.backends.ProcessPoolBackend`.
+    cache:
+        Optional :class:`~repro.exec.cache.SolveCache`; ``None`` disables
+        persistent caching (library default — the CLI enables it).
+    progress:
+        Optional ``progress(done, total, cell)`` callback invoked after
+        every completed cell.
+
+    The engine's :attr:`telemetry` accumulates across runs, so a frontend
+    can execute several plans and report one aggregate summary.
+    """
+
+    def __init__(
+        self,
+        backend: object | None = None,
+        cache: SolveCache | None = None,
+        progress: ProgressCallback | None = None,
+    ) -> None:
+        self.backend = backend if backend is not None else SerialBackend()
+        self.cache = cache
+        self.progress = progress
+        self.telemetry = SweepTelemetry()
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+
+    def run_tasks(self, tasks: list[SolveTask] | tuple[SolveTask, ...]) -> list[LossRateResult]:
+        """Execute tasks (cache first, then backend), preserving task order."""
+        total = len(tasks)
+        results: list[LossRateResult | None] = [None] * total
+        done = 0
+
+        pending: list[tuple[int, SolveTask]] = []
+        keys: list[str] = [""] * total
+        for index, task in enumerate(tasks):
+            if self.cache is not None:
+                key = task.cache_key()
+                keys[index] = key
+                hit = self.cache.get(key)
+                if hit is not None:
+                    results[index] = hit
+                    done += 1
+                    self._record(
+                        CellTelemetry.from_result(index, key, 0.0, hit, cached=True),
+                        done,
+                        total,
+                    )
+                    continue
+            pending.append((index, task))
+
+        for index, result, seconds in self.backend.run(pending):
+            results[index] = result
+            done += 1
+            if self.cache is not None:
+                self.cache.put(keys[index], result)
+            self._record(
+                CellTelemetry.from_result(index, keys[index], seconds, result, cached=False),
+                done,
+                total,
+            )
+
+        return [r for r in results if r is not None]
+
+    def solve(self, task: SolveTask) -> LossRateResult:
+        """Run one task through the cache/backend/telemetry path."""
+        return self.run_tasks([task])[0]
+
+    def run_grid(self, plan: SweepPlan) -> np.ndarray:
+        """Execute a plan and return the loss estimates as a (rows, cols) grid."""
+        results = self.run_tasks(plan.tasks)
+        return plan.reshape([r.estimate for r in results])
+
+    # ------------------------------------------------------------------ #
+    # bookkeeping
+    # ------------------------------------------------------------------ #
+
+    def _record(self, cell: CellTelemetry, done: int, total: int) -> None:
+        self.telemetry.record(cell)
+        if self.progress is not None:
+            self.progress(done, total, cell)

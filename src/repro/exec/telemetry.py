@@ -1,0 +1,124 @@
+"""Per-cell timing and convergence telemetry for sweep execution.
+
+Every cell the engine completes — solved or served from the cache —
+produces one :class:`CellTelemetry` record.  A :class:`SweepTelemetry`
+aggregates them: cache hit/miss counts, solver iterations actually spent
+(cached cells contribute zero), and wall-clock time.  The engine invokes
+an optional progress callback after each cell so interactive frontends
+(the CLI) can narrate long sweeps.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.core.results import LossRateResult
+
+__all__ = ["CellTelemetry", "SweepTelemetry", "ProgressCallback"]
+
+
+@dataclass(frozen=True)
+class CellTelemetry:
+    """What one grid cell cost.
+
+    Attributes
+    ----------
+    index:
+        Row-major cell index within its plan (or 0 for single solves).
+    key:
+        Cache key of the task (empty when caching is disabled).
+    seconds:
+        Wall-clock seconds spent producing the result (0 for cache hits).
+    iterations, bins, converged, negligible:
+        Copied from the :class:`~repro.core.results.LossRateResult`.
+    cached:
+        True when the result came from the persistent cache.
+    """
+
+    index: int
+    key: str
+    seconds: float
+    iterations: int
+    bins: int
+    converged: bool
+    negligible: bool
+    cached: bool
+
+    @classmethod
+    def from_result(
+        cls,
+        index: int,
+        key: str,
+        seconds: float,
+        result: LossRateResult,
+        cached: bool,
+    ) -> "CellTelemetry":
+        return cls(
+            index=index,
+            key=key,
+            seconds=seconds,
+            iterations=result.iterations,
+            bins=result.bins,
+            converged=result.converged,
+            negligible=result.negligible,
+            cached=cached,
+        )
+
+
+ProgressCallback = Callable[[int, int, CellTelemetry], None]
+"""``progress(done, total, cell)`` — called after every completed cell."""
+
+
+@dataclass
+class SweepTelemetry:
+    """Aggregated execution statistics (accumulates across engine runs)."""
+
+    cells: list[CellTelemetry] = field(default_factory=list)
+
+    def record(self, cell: CellTelemetry) -> None:
+        self.cells.append(cell)
+
+    @property
+    def total_cells(self) -> int:
+        return len(self.cells)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for c in self.cells if c.cached)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(1 for c in self.cells if not c.cached)
+
+    @property
+    def solver_iterations(self) -> int:
+        """Convolution iterations actually performed (cache hits cost zero)."""
+        return sum(c.iterations for c in self.cells if not c.cached)
+
+    @property
+    def solve_seconds(self) -> float:
+        return sum(c.seconds for c in self.cells)
+
+    @property
+    def unconverged_cells(self) -> int:
+        return sum(1 for c in self.cells if not c.converged)
+
+    def summary(self) -> dict[str, float]:
+        """Flat summary mapping, ready for ``reporting.format_mapping``."""
+        return {
+            "cells": float(self.total_cells),
+            "cache_hits": float(self.cache_hits),
+            "cache_misses": float(self.cache_misses),
+            "solver_iterations": float(self.solver_iterations),
+            "unconverged_cells": float(self.unconverged_cells),
+            "solve_seconds": self.solve_seconds,
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.total_cells} cells "
+            f"({self.cache_hits} cached, {self.cache_misses} solved), "
+            f"{self.solver_iterations} solver iterations, "
+            f"{self.solve_seconds:.2f}s solving"
+        )

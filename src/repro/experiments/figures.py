@@ -26,6 +26,7 @@ from repro.core.results import OccupancyBounds
 from repro.core.solver import FluidQueue, SolverConfig
 from repro.core.source import CutoffFluidSource
 from repro.core.truncated_pareto import TruncatedPareto
+from repro.exec.engine import SweepEngine
 from repro.experiments import paperconfig
 from repro.experiments.sweeps import (
     LossSurface,
@@ -143,6 +144,7 @@ def fig04_loss_surface_mtv(
     cutoff_points: int = 6,
     n_frames: int = paperconfig.DEFAULT_TRACE_BINS,
     config: SolverConfig | None = None,
+    engine: SweepEngine | None = None,
 ) -> LossSurface:
     """Model loss over (normalized buffer, cutoff), MTV at util 0.8 (Fig. 4)."""
     return sweep_buffer_cutoff(
@@ -151,6 +153,7 @@ def fig04_loss_surface_mtv(
         buffers=paperconfig.buffer_grid(buffer_points),
         cutoffs=paperconfig.cutoff_grid(cutoff_points),
         config=config,
+        engine=engine,
     )
 
 
@@ -159,6 +162,7 @@ def fig05_loss_surface_bellcore(
     cutoff_points: int = 6,
     n_bins: int = paperconfig.DEFAULT_TRACE_BINS,
     config: SolverConfig | None = None,
+    engine: SweepEngine | None = None,
 ) -> LossSurface:
     """Model loss over (normalized buffer, cutoff), Bellcore at util 0.4 (Fig. 5)."""
     return sweep_buffer_cutoff(
@@ -167,6 +171,7 @@ def fig05_loss_surface_bellcore(
         buffers=paperconfig.buffer_grid(buffer_points),
         cutoffs=paperconfig.cutoff_grid(cutoff_points),
         config=config,
+        engine=engine,
     )
 
 
@@ -288,6 +293,7 @@ def fig09_marginal_comparison(
     cutoff_points: int = 7,
     n_bins: int = paperconfig.DEFAULT_TRACE_BINS,
     config: SolverConfig | None = None,
+    engine: SweepEngine | None = None,
 ) -> MarginalComparison:
     """Loss vs T_c for MTV vs Bellcore marginals, all else equal (Fig. 9).
 
@@ -305,14 +311,15 @@ def fig09_marginal_comparison(
         ("bellcore", bellcore_trace(n_bins).marginal(paperconfig.HISTOGRAM_BINS)),
     ):
         source = CutoffFluidSource(marginal=marginal, interarrival=law)
-        _, losses = sweep_cutoff(
+        surface = sweep_cutoff(
             source,
             paperconfig.FIG9_UTILIZATION,
             paperconfig.FIG9_NORMALIZED_BUFFER,
             cutoffs,
             config=config,
+            engine=engine,
         )
-        results[name] = losses
+        _, results[name] = surface.row_series(0)
     return MarginalComparison(
         cutoffs=cutoffs, mtv_losses=results["mtv"], bellcore_losses=results["bellcore"]
     )
@@ -329,6 +336,7 @@ def fig10_hurst_vs_scaling(
     cutoff: float = 100.0,
     n_frames: int = paperconfig.DEFAULT_TRACE_BINS,
     config: SolverConfig | None = None,
+    engine: SweepEngine | None = None,
 ) -> LossSurface:
     """Loss over (H, marginal scaling), MTV at util 0.8 (Fig. 10).
 
@@ -347,6 +355,7 @@ def fig10_hurst_vs_scaling(
         cutoff=cutoff,
         nominal_hurst=MTV_HURST,
         config=config,
+        engine=engine,
     )
 
 
@@ -357,6 +366,7 @@ def fig11_hurst_vs_superposition(
     cutoff: float = 100.0,
     n_frames: int = paperconfig.DEFAULT_TRACE_BINS,
     config: SolverConfig | None = None,
+    engine: SweepEngine | None = None,
 ) -> LossSurface:
     """Loss over (H, superposed streams), MTV at util 0.8 (Fig. 11)."""
     trace = mtv_trace(n_frames)
@@ -369,6 +379,7 @@ def fig11_hurst_vs_superposition(
         streams=paperconfig.stream_grid(max_streams, stream_points),
         cutoff=cutoff,
         config=config,
+        engine=engine,
     )
 
 
@@ -383,6 +394,7 @@ def fig12_buffer_vs_scaling_mtv(
     cutoff: float = 100.0,
     n_frames: int = paperconfig.DEFAULT_TRACE_BINS,
     config: SolverConfig | None = None,
+    engine: SweepEngine | None = None,
 ) -> LossSurface:
     """Loss over (buffer, scaling), MTV at util 0.8 (Fig. 12)."""
     return sweep_buffer_scaling(
@@ -391,6 +403,7 @@ def fig12_buffer_vs_scaling_mtv(
         buffers=paperconfig.buffer_grid(buffer_points),
         scalings=paperconfig.scaling_grid(scaling_points),
         config=config,
+        engine=engine,
     )
 
 
@@ -400,6 +413,7 @@ def fig13_buffer_vs_scaling_bellcore(
     cutoff: float = 100.0,
     n_bins: int = paperconfig.DEFAULT_TRACE_BINS,
     config: SolverConfig | None = None,
+    engine: SweepEngine | None = None,
 ) -> LossSurface:
     """Loss over (buffer, scaling), Bellcore at util 0.4 (Fig. 13)."""
     return sweep_buffer_scaling(
@@ -408,6 +422,7 @@ def fig13_buffer_vs_scaling_bellcore(
         buffers=paperconfig.buffer_grid(buffer_points),
         scalings=paperconfig.scaling_grid(scaling_points),
         config=config,
+        engine=engine,
     )
 
 

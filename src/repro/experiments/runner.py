@@ -14,9 +14,13 @@ from __future__ import annotations
 
 from collections.abc import Callable
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.experiments import figures, reporting
 from repro.experiments.asciiplot import heatmap
+
+if TYPE_CHECKING:  # pragma: no cover - import for annotations only
+    from repro.exec.engine import SweepEngine
 
 __all__ = ["FigureSpec", "FIGURES", "run_figure", "available_figures"]
 
@@ -42,6 +46,9 @@ class FigureSpec:
         Name of the builder's trace-length parameter.
     quick_kwargs:
         Extra keyword overrides applied in quick mode (coarser grids).
+    supports_engine:
+        True when the builder accepts an ``engine=`` keyword (i.e. its
+        data comes from solver sweeps run through the execution engine).
     """
 
     number: int
@@ -50,6 +57,7 @@ class FigureSpec:
     render: Callable[[object], str]
     trace_keyword: str = "n_frames"
     quick_kwargs: dict = field(default_factory=dict)
+    supports_engine: bool = False
 
 
 def _render_fig02(snapshots) -> str:
@@ -130,6 +138,7 @@ FIGURES: dict[int, FigureSpec] = {
         figures.fig04_loss_surface_mtv,
         _render_surface("Fig. 4 — model loss, MTV util 0.8"),
         quick_kwargs={"buffer_points": 4, "cutoff_points": 4},
+        supports_engine=True,
     ),
     5: FigureSpec(
         5,
@@ -138,6 +147,7 @@ FIGURES: dict[int, FigureSpec] = {
         _render_surface("Fig. 5 — model loss, Bellcore util 0.4"),
         trace_keyword="n_bins",
         quick_kwargs={"buffer_points": 4, "cutoff_points": 4},
+        supports_engine=True,
     ),
     6: FigureSpec(
         6, "shuffling decorrelation", figures.fig06_shuffle_decorrelation, _render_fig06
@@ -164,6 +174,7 @@ FIGURES: dict[int, FigureSpec] = {
         _render_fig09,
         trace_keyword="n_bins",
         quick_kwargs={"cutoff_points": 4},
+        supports_engine=True,
     ),
     10: FigureSpec(
         10,
@@ -171,6 +182,7 @@ FIGURES: dict[int, FigureSpec] = {
         figures.fig10_hurst_vs_scaling,
         _render_surface("Fig. 10 — loss vs (H, scaling), MTV"),
         quick_kwargs={"hurst_points": 3, "scaling_points": 3},
+        supports_engine=True,
     ),
     11: FigureSpec(
         11,
@@ -178,6 +190,7 @@ FIGURES: dict[int, FigureSpec] = {
         figures.fig11_hurst_vs_superposition,
         _render_surface("Fig. 11 — loss vs (H, streams), MTV"),
         quick_kwargs={"hurst_points": 3},
+        supports_engine=True,
     ),
     12: FigureSpec(
         12,
@@ -185,6 +198,7 @@ FIGURES: dict[int, FigureSpec] = {
         figures.fig12_buffer_vs_scaling_mtv,
         _render_surface("Fig. 12 — loss vs (buffer, scaling), MTV"),
         quick_kwargs={"buffer_points": 4, "scaling_points": 3},
+        supports_engine=True,
     ),
     13: FigureSpec(
         13,
@@ -193,6 +207,7 @@ FIGURES: dict[int, FigureSpec] = {
         _render_surface("Fig. 13 — loss vs (buffer, scaling), Bellcore"),
         trace_keyword="n_bins",
         quick_kwargs={"buffer_points": 4, "scaling_points": 3},
+        supports_engine=True,
     ),
     14: FigureSpec(
         14,
@@ -209,7 +224,12 @@ def available_figures() -> list[int]:
     return sorted(FIGURES)
 
 
-def run_figure(number: int, quick: bool = False, trace_bins: int | None = None) -> str:
+def run_figure(
+    number: int,
+    quick: bool = False,
+    trace_bins: int | None = None,
+    engine: "SweepEngine | None" = None,
+) -> str:
     """Regenerate one paper figure and return its text report.
 
     Parameters
@@ -220,6 +240,10 @@ def run_figure(number: int, quick: bool = False, trace_bins: int | None = None) 
         Use short traces and coarse grids (interactive exploration).
     trace_bins:
         Explicit trace length; overrides the quick/full default.
+    engine:
+        Optional :class:`~repro.exec.engine.SweepEngine` routing the
+        figure's solver sweeps through a backend/cache; ignored by
+        figures whose data is not solver-driven.
     """
     if number not in FIGURES:
         raise ValueError(f"unknown figure {number}; choose from {available_figures()}")
@@ -231,5 +255,7 @@ def run_figure(number: int, quick: bool = False, trace_bins: int | None = None) 
         kwargs[spec.trace_keyword] = _QUICK_TRACE
     if quick:
         kwargs.update(spec.quick_kwargs)
+    if engine is not None and spec.supports_engine:
+        kwargs["engine"] = engine
     data = spec.build(**kwargs)
     return spec.render(data)

@@ -5,6 +5,13 @@ buffer size B, cutoff lag T_c, Hurst parameter H, and the marginal
 distribution (scaling factor a or number of superposed streams n) — and
 records the solver's loss estimate per grid cell in a
 :class:`LossSurface`.
+
+Since every cell is an independent ``solve_loss_rate`` call, the sweeps
+are thin :class:`~repro.exec.task.SweepPlan` builders executed through a
+:class:`~repro.exec.engine.SweepEngine`: pass ``engine=`` to run cells on
+a process pool, memoize them in the persistent solve cache, or observe
+per-cell telemetry.  The default engine (serial, no cache) reproduces the
+legacy hand-rolled loops bit for bit.
 """
 
 from __future__ import annotations
@@ -16,8 +23,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.marginal import DiscreteMarginal
-from repro.core.solver import SolverConfig, solve_loss_rate
+from repro.core.solver import SolverConfig
 from repro.core.source import CutoffFluidSource
+from repro.exec.engine import SweepEngine
+from repro.exec.task import SolveTask, SweepPlan
 
 __all__ = [
     "LossSurface",
@@ -93,32 +102,46 @@ class LossSurface:
             )
 
 
+def _execute(plan: SweepPlan, engine: SweepEngine | None) -> LossSurface:
+    """Run a plan on the given (or a default serial) engine."""
+    engine = engine if engine is not None else SweepEngine()
+    losses = engine.run_grid(plan)
+    return LossSurface(
+        row_label=plan.row_label,
+        col_label=plan.col_label,
+        rows=plan.rows,
+        cols=plan.cols,
+        losses=losses,
+        meta=dict(plan.meta),
+    )
+
+
 def sweep_buffer_cutoff(
     source: CutoffFluidSource,
     utilization: float,
     buffers: np.ndarray,
     cutoffs: np.ndarray,
     config: SolverConfig | None = None,
+    engine: SweepEngine | None = None,
 ) -> LossSurface:
     """Loss over (normalized buffer, cutoff lag) — Figs. 4 and 5."""
     buffers = np.asarray(buffers, dtype=np.float64)
     cutoffs = np.asarray(cutoffs, dtype=np.float64)
-    losses = np.empty((buffers.size, cutoffs.size))
-    for j, cutoff in enumerate(cutoffs):
-        truncated = source.with_cutoff(float(cutoff))
-        for i, buffer_seconds in enumerate(buffers):
-            result = solve_loss_rate(
-                truncated, utilization, float(buffer_seconds), config=config
-            )
-            losses[i, j] = result.estimate
-    return LossSurface(
+    truncated = [source.with_cutoff(float(cutoff)) for cutoff in cutoffs]
+    tasks = tuple(
+        SolveTask(truncated[j], utilization, float(buffer_seconds), config)
+        for buffer_seconds in buffers
+        for j in range(cutoffs.size)
+    )
+    plan = SweepPlan(
         row_label="buffer_s",
         col_label="cutoff_s",
         rows=buffers,
         cols=cutoffs,
-        losses=losses,
+        tasks=tasks,
         meta={"utilization": utilization, "hurst": source.hurst},
     )
+    return _execute(plan, engine)
 
 
 def sweep_cutoff(
@@ -127,16 +150,33 @@ def sweep_cutoff(
     normalized_buffer: float,
     cutoffs: np.ndarray,
     config: SolverConfig | None = None,
-) -> tuple[np.ndarray, np.ndarray]:
-    """Loss along a cutoff sweep at fixed buffer — Fig. 9 and CH extraction."""
+    engine: SweepEngine | None = None,
+) -> LossSurface:
+    """Loss along a cutoff sweep at fixed buffer — Fig. 9 and CH extraction.
+
+    Returns a one-row :class:`LossSurface` (row = the fixed normalized
+    buffer), so cutoff sweeps compose with the same save/plot/execute
+    machinery as their 2-D siblings; unpack with
+    ``cutoffs, losses = surface.row_series(0)``.
+    """
     cutoffs = np.asarray(cutoffs, dtype=np.float64)
-    losses = np.empty(cutoffs.size)
-    for j, cutoff in enumerate(cutoffs):
-        result = solve_loss_rate(
-            source.with_cutoff(float(cutoff)), utilization, normalized_buffer, config=config
-        )
-        losses[j] = result.estimate
-    return cutoffs, losses
+    tasks = tuple(
+        SolveTask(source.with_cutoff(float(cutoff)), utilization, normalized_buffer, config)
+        for cutoff in cutoffs
+    )
+    plan = SweepPlan(
+        row_label="buffer_s",
+        col_label="cutoff_s",
+        rows=np.array([float(normalized_buffer)]),
+        cols=cutoffs,
+        tasks=tasks,
+        meta={
+            "utilization": utilization,
+            "buffer_s": float(normalized_buffer),
+            "hurst": source.hurst,
+        },
+    )
+    return _execute(plan, engine)
 
 
 def sweep_hurst_scaling(
@@ -149,6 +189,7 @@ def sweep_hurst_scaling(
     cutoff: float = math.inf,
     nominal_hurst: float | None = None,
     config: SolverConfig | None = None,
+    engine: SweepEngine | None = None,
 ) -> LossSurface:
     """Loss over (Hurst, marginal scaling) — Fig. 10.
 
@@ -161,8 +202,9 @@ def sweep_hurst_scaling(
     if nominal_hurst is None:
         nominal_hurst = float(hursts[len(hursts) // 2])
     theta = mean_interval * (3.0 - 2.0 * nominal_hurst - 1.0)  # mean * (alpha - 1)
-    losses = np.empty((hursts.size, scalings.size))
-    for i, hurst in enumerate(hursts):
+    scaled_marginals = [marginal.scaled(float(scaling)) for scaling in scalings]
+    tasks: list[SolveTask] = []
+    for hurst in hursts:
         base = CutoffFluidSource.from_hurst(
             marginal=marginal, hurst=float(hurst), mean_interval=mean_interval, cutoff=cutoff
         )
@@ -172,16 +214,16 @@ def sweep_hurst_scaling(
             marginal=marginal,
             interarrival=type(law)(theta=theta, alpha=law.alpha, cutoff=law.cutoff),
         )
-        for j, scaling in enumerate(scalings):
-            scaled = fixed.with_marginal(marginal.scaled(float(scaling)))
-            result = solve_loss_rate(scaled, utilization, normalized_buffer, config=config)
-            losses[i, j] = result.estimate
-    return LossSurface(
+        for scaled in scaled_marginals:
+            tasks.append(
+                SolveTask(fixed.with_marginal(scaled), utilization, normalized_buffer, config)
+            )
+    plan = SweepPlan(
         row_label="hurst",
         col_label="scaling",
         rows=hursts,
         cols=scalings,
-        losses=losses,
+        tasks=tuple(tasks),
         meta={
             "utilization": utilization,
             "buffer_s": normalized_buffer,
@@ -189,6 +231,7 @@ def sweep_hurst_scaling(
             "theta": theta,
         },
     )
+    return _execute(plan, engine)
 
 
 def sweep_hurst_superposition(
@@ -200,30 +243,36 @@ def sweep_hurst_superposition(
     streams: np.ndarray,
     cutoff: float = math.inf,
     config: SolverConfig | None = None,
+    engine: SweepEngine | None = None,
 ) -> LossSurface:
     """Loss over (Hurst, number of superposed streams) — Fig. 11."""
     hursts = np.asarray(hursts, dtype=np.float64)
     streams = np.asarray(streams, dtype=np.int64)
     superposed = {int(n): marginal.superposed(int(n)) for n in streams}
-    losses = np.empty((hursts.size, streams.size))
-    for i, hurst in enumerate(hursts):
-        for j, n in enumerate(streams):
-            source = CutoffFluidSource.from_hurst(
+    tasks = tuple(
+        SolveTask(
+            CutoffFluidSource.from_hurst(
                 marginal=superposed[int(n)],
                 hurst=float(hurst),
                 mean_interval=mean_interval,
                 cutoff=cutoff,
-            )
-            result = solve_loss_rate(source, utilization, normalized_buffer, config=config)
-            losses[i, j] = result.estimate
-    return LossSurface(
+            ),
+            utilization,
+            normalized_buffer,
+            config,
+        )
+        for hurst in hursts
+        for n in streams
+    )
+    plan = SweepPlan(
         row_label="hurst",
         col_label="streams",
         rows=hursts,
         cols=streams.astype(np.float64),
-        losses=losses,
+        tasks=tasks,
         meta={"utilization": utilization, "buffer_s": normalized_buffer, "cutoff_s": cutoff},
     )
+    return _execute(plan, engine)
 
 
 def sweep_buffer_scaling(
@@ -232,21 +281,25 @@ def sweep_buffer_scaling(
     buffers: np.ndarray,
     scalings: np.ndarray,
     config: SolverConfig | None = None,
+    engine: SweepEngine | None = None,
 ) -> LossSurface:
     """Loss over (normalized buffer, marginal scaling) — Figs. 12 and 13."""
     buffers = np.asarray(buffers, dtype=np.float64)
     scalings = np.asarray(scalings, dtype=np.float64)
-    losses = np.empty((buffers.size, scalings.size))
-    for j, scaling in enumerate(scalings):
-        scaled = source.with_marginal(source.marginal.scaled(float(scaling)))
-        for i, buffer_seconds in enumerate(buffers):
-            result = solve_loss_rate(scaled, utilization, float(buffer_seconds), config=config)
-            losses[i, j] = result.estimate
-    return LossSurface(
+    scaled_sources = [
+        source.with_marginal(source.marginal.scaled(float(scaling))) for scaling in scalings
+    ]
+    tasks = tuple(
+        SolveTask(scaled_sources[j], utilization, float(buffer_seconds), config)
+        for buffer_seconds in buffers
+        for j in range(scalings.size)
+    )
+    plan = SweepPlan(
         row_label="buffer_s",
         col_label="scaling",
         rows=buffers,
         cols=scalings,
-        losses=losses,
+        tasks=tasks,
         meta={"utilization": utilization, "hurst": source.hurst, "cutoff_s": source.cutoff},
     )
+    return _execute(plan, engine)

@@ -1,0 +1,118 @@
+"""Tests for the canonical payload/fingerprint encoding."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.fingerprint import PAYLOAD_VERSION, payload_of, restore, stable_hash
+from repro.core.marginal import DiscreteMarginal
+from repro.core.solver import SolverConfig
+from repro.core.source import CutoffFluidSource
+from repro.core.truncated_pareto import TruncatedPareto
+
+
+class TestPayloads:
+    def test_pareto_round_trip_is_exact(self):
+        law = TruncatedPareto(theta=0.1, alpha=1.4, cutoff=5.0)
+        clone = restore(payload_of(law))
+        assert clone.theta == law.theta
+        assert clone.alpha == law.alpha
+        assert clone.cutoff == law.cutoff
+
+    def test_infinite_cutoff_survives(self):
+        law = TruncatedPareto(theta=0.1, alpha=1.4, cutoff=math.inf)
+        payload = payload_of(law)
+        assert payload["cutoff"] == "inf"
+        assert restore(payload).cutoff == math.inf
+
+    def test_marginal_round_trip(self, three_level_marginal):
+        clone = restore(payload_of(three_level_marginal))
+        np.testing.assert_allclose(clone.rates, three_level_marginal.rates)
+        np.testing.assert_allclose(clone.probs, three_level_marginal.probs)
+
+    def test_source_round_trip(self, small_source):
+        clone = restore(payload_of(small_source))
+        assert clone.mean_rate == pytest.approx(small_source.mean_rate)
+        assert clone.cutoff == small_source.cutoff
+        assert clone.hurst == pytest.approx(small_source.hurst)
+
+    def test_config_round_trip(self):
+        config = SolverConfig(initial_bins=64, relative_gap=0.3, use_fft=False)
+        assert restore(payload_of(config)) == config
+
+    def test_none_config_normalizes_to_default(self):
+        assert payload_of(None) == payload_of(SolverConfig())
+        assert restore(payload_of(None)) == SolverConfig()
+
+    def test_payloads_are_json_serializable(self, small_source):
+        for obj in (small_source, small_source.marginal, small_source.interarrival, None):
+            json.dumps(payload_of(obj))
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError, match="payload"):
+            payload_of(object())
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            restore({"kind": "mystery"})
+
+
+class TestStableHash:
+    def test_deterministic(self, small_source):
+        assert stable_hash(payload_of(small_source)) == stable_hash(payload_of(small_source))
+
+    def test_sensitive_to_content(self, small_source):
+        a = stable_hash(payload_of(small_source))
+        b = stable_hash(payload_of(small_source.with_cutoff(2.0)))
+        assert a != b
+
+    def test_independent_of_dict_ordering(self):
+        assert stable_hash({"a": 1, "b": 2}) == stable_hash({"b": 2, "a": 1})
+
+    def test_version_participates(self):
+        # The version is baked into the hashed material, so bumping
+        # PAYLOAD_VERSION invalidates every stored key by construction.
+        material = json.dumps(
+            {"version": PAYLOAD_VERSION, "payload": {"kind": "x"}},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        assert "version" in material
+
+    def test_equal_marginals_built_differently_hash_identically(self):
+        # Construction route must not matter, only the stored values.
+        a = DiscreteMarginal(rates=[0.0, 2.0], probs=[0.5, 0.5])
+        b = DiscreteMarginal(
+            rates=np.array([0.0, 2.0]), probs=np.array([0.5, 0.5])
+        )
+        assert stable_hash(payload_of(a)) == stable_hash(payload_of(b))
+
+
+class TestPickleExactness:
+    def test_pickle_preserves_probability_bits(self):
+        import pickle
+
+        # probs that do not renormalize to themselves exactly
+        marginal = DiscreteMarginal(rates=[0.0, 1.0, 4.0], probs=[0.1, 0.2, 0.7])
+        clone = pickle.loads(pickle.dumps(marginal))
+        np.testing.assert_array_equal(clone.probs, marginal.probs)
+
+    def test_pickle_preserves_source_bits(self, small_source):
+        import pickle
+
+        clone = pickle.loads(pickle.dumps(small_source))
+        np.testing.assert_array_equal(clone.marginal.probs, small_source.marginal.probs)
+        assert clone.interarrival == small_source.interarrival
+
+
+def test_source_fingerprint_stable_via_pickle(small_source):
+    """The cache-key contract: the same source hashes identically after
+    crossing a (simulated) process boundary."""
+    import pickle
+
+    clone = pickle.loads(pickle.dumps(small_source))
+    assert stable_hash(payload_of(clone)) == stable_hash(payload_of(small_source))

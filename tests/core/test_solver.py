@@ -130,6 +130,23 @@ class TestBoundsAndConvergence:
         assert lower_after == pytest.approx(lower_before, rel=1e-9)
         assert upper_after == pytest.approx(upper_before, rel=1e-9)
 
+    def test_refined_bounds_stay_ordered(self, small_source):
+        """lower <= upper must survive refinement and further iteration."""
+        chains = _BoundedChains(
+            workload=WorkloadLaw(source=small_source, service_rate=1.25),
+            buffer_size=1.0,
+            bins=32,
+            use_fft=True,
+        )
+        chains.iterate(50)
+        for _ in range(3):
+            chains = chains.refined()
+            lower, upper = chains.loss_bounds()
+            assert lower <= upper + 1e-15
+            chains.iterate(20)
+            lower, upper = chains.loss_bounds()
+            assert lower <= upper + 1e-15
+
     def test_fft_and_direct_agree(self, small_source):
         kwargs = dict(
             workload=WorkloadLaw(source=small_source, service_rate=1.25),

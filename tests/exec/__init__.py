@@ -1,0 +1,1 @@
+"""Tests for the sweep execution engine (:mod:`repro.exec`)."""

@@ -1,0 +1,79 @@
+"""Tests for the serial and process-pool execution backends."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.solver import SolverConfig
+from repro.exec.backends import ProcessPoolBackend, SerialBackend, resolve_backend
+from repro.exec.task import SolveTask
+
+FAST = SolverConfig(initial_bins=32, max_bins=128, relative_gap=0.5, max_iterations=2_000)
+
+
+@pytest.fixture
+def indexed_tasks(small_source):
+    buffers = (0.1, 0.3, 0.6)
+    return [
+        (i, SolveTask(small_source, 0.85, b, FAST)) for i, b in enumerate(buffers)
+    ]
+
+
+class TestSerialBackend:
+    def test_runs_in_task_order(self, indexed_tasks):
+        triples = list(SerialBackend().run(indexed_tasks))
+        assert [index for index, _, _ in triples] == [0, 1, 2]
+        assert all(seconds >= 0.0 for _, _, seconds in triples)
+
+    def test_matches_direct_solves(self, indexed_tasks):
+        triples = list(SerialBackend().run(indexed_tasks))
+        for (index, result, _), (_, task) in zip(triples, indexed_tasks):
+            direct = task.run()
+            assert result.lower == direct.lower
+            assert result.upper == direct.upper
+
+
+class TestProcessPoolBackend:
+    def test_single_job_falls_back_to_serial(self, indexed_tasks):
+        triples = list(ProcessPoolBackend(jobs=1).run(indexed_tasks))
+        assert [index for index, _, _ in triples] == [0, 1, 2]
+
+    def test_pool_results_match_serial_bitwise(self, indexed_tasks):
+        serial = {i: r for i, r, _ in SerialBackend().run(indexed_tasks)}
+        pooled = {
+            i: r
+            for i, r, _ in ProcessPoolBackend(jobs=2, chunk_size=1).run(indexed_tasks)
+        }
+        assert set(pooled) == set(serial)
+        for index, result in pooled.items():
+            assert result.lower == serial[index].lower
+            assert result.upper == serial[index].upper
+            assert result.iterations == serial[index].iterations
+
+    def test_empty_task_list(self):
+        assert list(ProcessPoolBackend(jobs=2).run([])) == []
+
+    def test_chunking_covers_every_task(self, indexed_tasks):
+        backend = ProcessPoolBackend(jobs=2)
+        chunks = backend._chunks(indexed_tasks)
+        flattened = [pair for chunk in chunks for pair in chunk]
+        assert flattened == list(indexed_tasks)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="jobs"):
+            ProcessPoolBackend(jobs=-2)
+        with pytest.raises(ValueError, match="chunk_size"):
+            ProcessPoolBackend(jobs=2, chunk_size=0)
+
+
+class TestResolveBackend:
+    def test_serial_for_none_and_one(self):
+        assert isinstance(resolve_backend(None), SerialBackend)
+        assert isinstance(resolve_backend(0), SerialBackend)
+        assert isinstance(resolve_backend(1), SerialBackend)
+
+    def test_pool_for_many(self):
+        backend = resolve_backend(3)
+        assert isinstance(backend, ProcessPoolBackend)
+        assert backend.jobs == 3

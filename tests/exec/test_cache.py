@@ -1,0 +1,80 @@
+"""Tests for the persistent JSON-lines solve cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.results import LossRateResult
+from repro.exec.cache import SolveCache, default_cache_dir
+
+RESULT = LossRateResult(
+    lower=1.0 / 3.0, upper=0.5000000000000007, iterations=96,
+    bins=256, converged=True, negligible=False,
+)
+
+
+class TestDefaultCacheDir:
+    def test_env_override_wins(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_LRD_CACHE_DIR", str(tmp_path / "override"))
+        assert default_cache_dir() == str(tmp_path / "override")
+
+    def test_xdg_fallback(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_LRD_CACHE_DIR", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_dir() == str(tmp_path / "xdg" / "repro-lrd")
+
+
+class TestSolveCache:
+    def test_rejects_a_file_as_directory(self, tmp_path):
+        target = tmp_path / "not-a-dir"
+        target.touch()
+        with pytest.raises(ValueError, match="not a directory"):
+            SolveCache(target)
+
+    def test_round_trip_is_float_exact(self, tmp_path):
+        cache = SolveCache(tmp_path)
+        cache.put("k1", RESULT)
+        loaded = cache.get("k1")
+        assert loaded == RESULT
+        assert loaded.lower == RESULT.lower  # bit-exact, not approx
+
+    def test_hit_and_miss_accounting(self, tmp_path):
+        cache = SolveCache(tmp_path)
+        assert cache.get("absent") is None
+        cache.put("k1", RESULT)
+        assert cache.get("k1") is not None
+        assert cache.get("absent") is None
+        assert cache.hits == 1
+        assert cache.misses == 2
+
+    def test_persists_across_instances(self, tmp_path):
+        SolveCache(tmp_path).put("k1", RESULT)
+        reopened = SolveCache(tmp_path)
+        assert len(reopened) == 1
+        assert "k1" in reopened
+        assert reopened.get("k1") == RESULT
+
+    def test_duplicate_puts_write_one_record(self, tmp_path):
+        cache = SolveCache(tmp_path)
+        cache.put("k1", RESULT)
+        cache.put("k1", RESULT)
+        lines = cache.path.read_text().strip().splitlines()
+        assert len(lines) == 1
+
+    def test_corrupt_lines_are_skipped(self, tmp_path):
+        cache = SolveCache(tmp_path)
+        cache.put("k1", RESULT)
+        with cache.path.open("a") as handle:
+            handle.write("{truncated garba\n")
+            handle.write("\n")
+        reopened = SolveCache(tmp_path)
+        assert len(reopened) == 1
+        assert reopened.get("k1") == RESULT
+
+    def test_clear_drops_memory_and_disk(self, tmp_path):
+        cache = SolveCache(tmp_path)
+        cache.put("k1", RESULT)
+        cache.clear()
+        assert len(cache) == 0
+        assert not cache.path.exists()
+        assert SolveCache(tmp_path).get("k1") is None

@@ -1,0 +1,123 @@
+"""Tests for the sweep engine: bit-identity, caching and telemetry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.solver import SolverConfig, solve_loss_rate
+from repro.exec.cache import SolveCache
+from repro.exec.engine import SweepEngine
+from repro.exec.task import SolveTask, SweepPlan
+from repro.experiments.sweeps import sweep_buffer_cutoff
+
+FAST = SolverConfig(initial_bins=32, max_bins=128, relative_gap=0.5, max_iterations=2_000)
+
+BUFFERS = np.array([0.1, 0.4])
+CUTOFFS = np.array([0.5, 2.0])
+
+
+def _plan(source) -> SweepPlan:
+    return SweepPlan.from_grid(
+        "buffer_s",
+        "cutoff_s",
+        BUFFERS,
+        CUTOFFS,
+        lambda b, c: SolveTask(source.with_cutoff(c), 0.85, b, FAST),
+    )
+
+
+class TestBitIdentity:
+    def test_default_engine_matches_direct_loops(self, small_source):
+        grid = SweepEngine().run_grid(_plan(small_source))
+        expected = np.array(
+            [
+                [
+                    solve_loss_rate(
+                        small_source.with_cutoff(float(c)), 0.85, float(b), config=FAST
+                    ).estimate
+                    for c in CUTOFFS
+                ]
+                for b in BUFFERS
+            ]
+        )
+        np.testing.assert_array_equal(grid, expected)  # bit-identical, not approx
+
+    def test_sweep_builder_matches_direct_loops(self, small_source):
+        surface = sweep_buffer_cutoff(
+            small_source, 0.85, BUFFERS, CUTOFFS, config=FAST
+        )
+        expected = np.array(
+            [
+                [
+                    solve_loss_rate(
+                        small_source.with_cutoff(float(c)), 0.85, float(b), config=FAST
+                    ).estimate
+                    for c in CUTOFFS
+                ]
+                for b in BUFFERS
+            ]
+        )
+        np.testing.assert_array_equal(surface.losses, expected)
+
+
+class TestCaching:
+    def test_warm_rerun_costs_zero_solver_iterations(self, small_source, tmp_path):
+        cold = SweepEngine(cache=SolveCache(tmp_path))
+        cold_grid = cold.run_grid(_plan(small_source))
+        assert cold.telemetry.cache_hits == 0
+        assert cold.telemetry.solver_iterations > 0
+
+        warm = SweepEngine(cache=SolveCache(tmp_path))
+        warm_grid = warm.run_grid(_plan(small_source))
+        assert warm.telemetry.cache_hits == warm.telemetry.total_cells
+        assert warm.telemetry.cache_misses == 0
+        assert warm.telemetry.solver_iterations == 0
+        np.testing.assert_array_equal(warm_grid, cold_grid)
+
+    def test_partial_warmth_solves_only_the_new_cells(self, small_source, tmp_path):
+        engine = SweepEngine(cache=SolveCache(tmp_path))
+        engine.solve(SolveTask(small_source.with_cutoff(float(CUTOFFS[0])), 0.85,
+                               float(BUFFERS[0]), FAST))
+
+        sweep_engine = SweepEngine(cache=SolveCache(tmp_path))
+        sweep_engine.run_grid(_plan(small_source))
+        assert sweep_engine.telemetry.cache_hits == 1
+        assert sweep_engine.telemetry.cache_misses == BUFFERS.size * CUTOFFS.size - 1
+
+    def test_uncached_engine_reports_no_hits(self, small_source):
+        engine = SweepEngine()
+        engine.run_grid(_plan(small_source))
+        assert engine.telemetry.cache_hits == 0
+        assert engine.telemetry.cache_misses == engine.telemetry.total_cells
+
+
+class TestTelemetryAndProgress:
+    def test_progress_callback_sees_every_cell(self, small_source):
+        calls = []
+        engine = SweepEngine(progress=lambda done, total, cell: calls.append((done, total, cell)))
+        engine.run_grid(_plan(small_source))
+        total = BUFFERS.size * CUTOFFS.size
+        assert len(calls) == total
+        assert [done for done, _, _ in calls] == list(range(1, total + 1))
+        assert all(t == total for _, t, _ in calls)
+        assert sorted(cell.index for _, _, cell in calls) == list(range(total))
+
+    def test_telemetry_accumulates_across_runs(self, small_source):
+        engine = SweepEngine()
+        engine.solve(SolveTask(small_source, 0.85, 0.1, FAST))
+        engine.solve(SolveTask(small_source, 0.85, 0.4, FAST))
+        assert engine.telemetry.total_cells == 2
+        summary = engine.telemetry.summary()
+        assert summary["cells"] == 2.0
+        assert summary["solver_iterations"] > 0
+        assert summary["solve_seconds"] >= 0.0
+
+    def test_solve_returns_the_plain_result(self, small_source):
+        engine = SweepEngine()
+        task = SolveTask(small_source, 0.85, 0.1, FAST)
+        result = engine.solve(task)
+        direct = task.run()
+        assert result.lower == direct.lower
+        assert result.upper == direct.upper
+        assert result.estimate == pytest.approx(direct.estimate)

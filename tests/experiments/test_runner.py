@@ -1,0 +1,59 @@
+"""Tests for the figure registry's engine plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec.engine import SweepEngine
+from repro.experiments import runner
+from repro.experiments.runner import FIGURES, FigureSpec, available_figures, run_figure
+
+
+def _fake_spec(number: int, supports_engine: bool, captured: dict) -> FigureSpec:
+    def build(**kwargs):
+        captured.update(kwargs)
+        return "data"
+
+    return FigureSpec(
+        number=number,
+        title="fake",
+        build=build,
+        render=lambda data: f"rendered {data}",
+        supports_engine=supports_engine,
+    )
+
+
+class TestEngineForwarding:
+    def test_engine_passed_to_supporting_figures(self, monkeypatch):
+        captured: dict = {}
+        monkeypatch.setitem(FIGURES, 4, _fake_spec(4, True, captured))
+        engine = SweepEngine()
+        assert run_figure(4, quick=True, engine=engine) == "rendered data"
+        assert captured["engine"] is engine
+
+    def test_engine_withheld_from_non_sweep_figures(self, monkeypatch):
+        captured: dict = {}
+        monkeypatch.setitem(FIGURES, 2, _fake_spec(2, False, captured))
+        run_figure(2, quick=True, engine=SweepEngine())
+        assert "engine" not in captured
+
+    def test_no_engine_means_no_kwarg(self, monkeypatch):
+        captured: dict = {}
+        monkeypatch.setitem(FIGURES, 4, _fake_spec(4, True, captured))
+        run_figure(4, quick=True)
+        assert "engine" not in captured
+
+
+class TestRegistry:
+    def test_solver_driven_figures_declare_engine_support(self):
+        for number in (4, 5, 9, 10, 11, 12, 13):
+            assert FIGURES[number].supports_engine, f"figure {number}"
+        for number in (2, 3, 6, 7, 8, 14):
+            assert not FIGURES[number].supports_engine, f"figure {number}"
+
+    def test_available_figures_covers_the_paper(self):
+        assert available_figures() == list(range(2, 15))
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ValueError, match="unknown figure"):
+            runner.run_figure(99)

@@ -46,6 +46,24 @@ class TestLossSurface:
         assert loaded.meta["utilization"] == 0.8
         assert loaded.meta["trace"] == "demo"
 
+    def test_save_load_coerces_numpy_meta_scalars(self, tmp_path):
+        # Sweeps routinely stash np.float64 values in meta; save() must
+        # coerce them so the archive stays loadable without pickle.
+        surface = LossSurface(
+            row_label="buffer_s",
+            col_label="cutoff_s",
+            rows=np.array([0.1]),
+            cols=np.array([1.0, 10.0]),
+            losses=np.array([[1e-3, 2e-3]]),
+            meta={"utilization": np.float64(0.8), "hurst": np.float64(0.83)},
+        )
+        path = str(tmp_path / "surface.npz")
+        surface.save(path)
+        loaded = LossSurface.load(path)
+        assert isinstance(loaded.meta["utilization"], float)
+        assert loaded.meta["utilization"] == 0.8
+        assert loaded.meta["hurst"] == 0.83
+
     def test_series_accessors(self):
         surface = LossSurface(
             row_label="a",
@@ -88,11 +106,26 @@ class TestBufferCutoffSweep:
 
 class TestCutoffSweep:
     def test_monotone_in_cutoff(self, small_source):
-        cutoffs, losses = sweep_cutoff(
+        surface = sweep_cutoff(
             small_source, 0.8, 0.3, np.array([0.2, 1.0, 4.0]), config=FAST
         )
+        assert isinstance(surface, LossSurface)
+        assert surface.losses.shape == (1, 3)
+        cutoffs, losses = surface.row_series(0)
+        np.testing.assert_allclose(cutoffs, [0.2, 1.0, 4.0])
         assert losses.shape == (3,)
         assert losses[0] <= losses[1] + 1e-12 <= losses[2] + 2e-12
+
+    def test_structured_result_metadata(self, small_source):
+        surface = sweep_cutoff(
+            small_source, 0.8, 0.3, np.array([0.5, 2.0]), config=FAST
+        )
+        assert surface.row_label == "buffer_s"
+        assert surface.col_label == "cutoff_s"
+        np.testing.assert_allclose(surface.rows, [0.3])
+        assert surface.meta["utilization"] == 0.8
+        assert surface.meta["buffer_s"] == 0.3
+        assert surface.meta["hurst"] == pytest.approx(small_source.hurst)
 
 
 class TestMarginalSweeps:

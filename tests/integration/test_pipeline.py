@@ -30,7 +30,7 @@ def test_full_pipeline_mtv(mtv_trace_small):
     # 3. Solve for loss across cutoffs at fixed buffer.
     cutoffs = np.array([0.2, 1.0, 5.0, 25.0])
     _, losses = sweep_cutoff(source, utilization=0.85, normalized_buffer=0.3,
-                             cutoffs=cutoffs, config=FAST)
+                             cutoffs=cutoffs, config=FAST).row_series(0)
     assert np.all(np.diff(losses) >= -1e-12)  # more correlation, more loss
     # 4. The analytic horizon lands within the swept range's magnitude.
     service_rate = source.mean_rate / 0.85
@@ -43,7 +43,7 @@ def test_correlation_horizon_observable_in_model(small_source):
     cutoffs = np.array([0.05, 0.2, 1.0, 4.0, 16.0, 64.0])
     _, losses = sweep_cutoff(
         small_source, utilization=0.9, normalized_buffer=0.05, cutoffs=cutoffs, config=FAST
-    )
+    ).row_series(0)
     horizon = empirical_horizon(cutoffs, losses, relative_band=0.25)
     # Small buffer -> short horizon: the plateau must start well before the
     # largest cutoff swept.

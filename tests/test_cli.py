@@ -7,6 +7,12 @@ import pytest
 from repro.cli import build_parser, main
 
 
+@pytest.fixture(autouse=True)
+def _isolated_cache(monkeypatch, tmp_path):
+    """Keep CLI runs from touching the user's real solve cache."""
+    monkeypatch.setenv("REPRO_LRD_CACHE_DIR", str(tmp_path / "cli-cache"))
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -20,6 +26,21 @@ class TestParser:
         args = build_parser().parse_args(["solve"])
         assert args.hurst == 0.8
         assert args.utilization == 0.8
+
+    def test_engine_flag_defaults(self):
+        for command in (["figure", "4"], ["solve"]):
+            args = build_parser().parse_args(command)
+            assert args.jobs == 1
+            assert args.no_cache is False
+            assert args.cache_dir is None
+
+    def test_engine_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["figure", "4", "--jobs", "4", "--no-cache", "--cache-dir", "/tmp/c"]
+        )
+        assert args.jobs == 4
+        assert args.no_cache is True
+        assert args.cache_dir == "/tmp/c"
 
 
 class TestCommands:
@@ -74,6 +95,32 @@ class TestCommands:
         assert "figure  2" in out
         assert "figure 14" in out
         assert "correlation-horizon scaling" in out
+
+    def test_solve_warm_cache_replays_without_iterations(self, capsys, tmp_path):
+        argv = ["solve", "--hurst", "0.7", "--cutoff", "2.0", "--buffer", "0.3",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        cold = capsys.readouterr()
+        assert "1 cells, 0 cache hits" in cold.err
+
+        assert main(argv) == 0
+        warm = capsys.readouterr()
+        assert "1 cells, 1 cache hits" in warm.err
+        assert "0 solver iterations" in warm.err
+        # Identical numbers either way.
+        assert warm.out == cold.out
+
+    def test_cache_dir_at_a_file_fails_cleanly(self, tmp_path):
+        target = tmp_path / "not-a-dir"
+        target.touch()
+        with pytest.raises(SystemExit, match="not a directory"):
+            main(["solve", "--buffer", "0.2", "--cache-dir", str(target)])
+
+    def test_solve_no_cache_writes_nothing(self, capsys, tmp_path):
+        code = main(["solve", "--buffer", "0.3", "--no-cache",
+                     "--cache-dir", str(tmp_path)])
+        assert code == 0
+        assert not (tmp_path / "solve_cache.jsonl").exists()
 
     def test_dimension(self, capsys):
         code = main(["dimension", "--target-loss", "1e-3", "--buffer", "0.3"])
