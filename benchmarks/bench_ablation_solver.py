@@ -7,6 +7,11 @@ Two of the paper's implementation notes are measurable:
 * carrying the distributions over when doubling M (footnote 3)
   "considerably increases the efficiency" vs cold-restarting the recursion
   at the finer grid — we count iterations both ways.
+
+A third ablation sweeps the FFT/direct crossover (the
+``SolverConfig.fft_threshold_bins`` knob): per-step spectral vs direct
+cost at each bin count, locating the break-even that justifies the
+configured default.
 """
 
 from __future__ import annotations
@@ -37,6 +42,7 @@ def _chains(bins: int, use_fft: bool) -> _BoundedChains:
         buffer_size=1.0,
         bins=bins,
         use_fft=use_fft,
+        fft_threshold_bins=0,  # ablations pick the kernel explicitly
     )
 
 
@@ -68,6 +74,57 @@ def test_ablation_fft_vs_direct(benchmark):
         ),
     )
     assert speedup > 1.5  # FFT must clearly win at M = 2048
+
+
+def test_ablation_fft_threshold(benchmark):
+    """Locate the spectral/direct crossover behind ``fft_threshold_bins``.
+
+    The v1 kernel (per-step ``fftconvolve``) paid plan setup every step
+    and only won above ~512 bins; the cached-plan spectral kernel
+    amortizes that, so the measured break-even sits near the
+    :data:`repro.core.solver.DEFAULT_FFT_THRESHOLD_BINS` default.
+    """
+    from repro.core.solver import DEFAULT_FFT_THRESHOLD_BINS
+
+    sizes = np.array([32, 64, 128, 256, 512, 1024])
+    steps = 60
+
+    def per_step(bins: int, use_fft: bool) -> float:
+        chains = _chains(int(bins), use_fft)
+        chains.iterate(4)  # warm plans and scratch buffers
+        start = time.perf_counter()
+        chains.iterate(steps)
+        return (time.perf_counter() - start) / steps
+
+    def run():
+        spectral = np.array([per_step(m, True) for m in sizes])
+        direct = np.array([per_step(m, False) for m in sizes])
+        return spectral, direct
+
+    spectral, direct = run_once(benchmark, run)
+    ratios = direct / spectral
+    crossed = sizes[ratios >= 1.0]
+    crossover = int(crossed[0]) if crossed.size else int(sizes[-1])
+    from repro.experiments.reporting import format_series
+
+    text = format_series(
+        "bins",
+        sizes.astype(float),
+        {
+            "spectral_s_per_step": spectral,
+            "direct_s_per_step": direct,
+            "direct_over_spectral": ratios,
+        },
+        "Ablation — FFT/direct crossover (SolverConfig.fft_threshold_bins)",
+    )
+    text += (
+        f"\n\nmeasured crossover ~{crossover} bins; configured default "
+        f"fft_threshold_bins = {DEFAULT_FFT_THRESHOLD_BINS}"
+    )
+    persist("ablation_fft_threshold", text)
+    # The spectral kernel must clearly win by 4x the configured threshold;
+    # the exact break-even wobbles with the host, the decade may not.
+    assert ratios[sizes >= 4 * DEFAULT_FFT_THRESHOLD_BINS].min() > 1.0
 
 
 def test_ablation_refinement_carry_over(benchmark):

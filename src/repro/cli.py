@@ -157,7 +157,9 @@ def _print_engine_summary(engine: "SweepEngine") -> None:
         f"engine: {telemetry.total_cells} cells, "
         f"{telemetry.cache_hits} cache hits, {telemetry.cache_misses} misses, "
         f"{telemetry.solver_iterations} solver iterations, "
-        f"{telemetry.solve_seconds:.2f}s solving",
+        f"{telemetry.solve_seconds:.2f}s solving "
+        f"({telemetry.fft_seconds:.2f}s fft over {telemetry.fft_transforms} "
+        f"transforms, {telemetry.boundary_seconds:.2f}s boundaries)",
         file=sys.stderr,
     )
 
@@ -193,10 +195,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     if args.command == "figure":
-        engine = _build_engine(args)
-        text = _run_figure(args, engine)
-        print(text)
-        _print_engine_summary(engine)
+        with _build_engine(args) as engine:
+            text = _run_figure(args, engine)
+            print(text)
+            _print_engine_summary(engine)
         if args.out:
             reporting.write_report(args.out, text)
         return 0
@@ -204,11 +206,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "solve":
         from repro.exec import SolveTask
 
-        engine = _build_engine(args)
         source = _onoff_source(args)
-        result = engine.solve(SolveTask(source, args.utilization, args.buffer))
-        print(result)
-        _print_engine_summary(engine)
+        with _build_engine(args) as engine:
+            result = engine.solve(SolveTask(source, args.utilization, args.buffer))
+            print(result)
+            _print_engine_summary(engine)
         return 0
 
     if args.command == "horizon":

@@ -35,14 +35,19 @@ from typing import Any
 import numpy as np
 
 from repro.core.marginal import DiscreteMarginal
-from repro.core.solver import SolverConfig
+from repro.core.solver import DEFAULT_FFT_THRESHOLD_BINS, SOLVER_VERSION, SolverConfig
 from repro.core.source import CutoffFluidSource
 from repro.core.truncated_pareto import TruncatedPareto
 
 __all__ = ["PAYLOAD_VERSION", "payload_of", "restore", "stable_hash"]
 
 PAYLOAD_VERSION = 1
-"""Bump when the payload encoding changes; participates in every hash."""
+"""Bump when the payload encoding changes; participates in every hash.
+
+Solver *numerics* are versioned separately: the solver-config payload
+embeds :data:`repro.core.solver.SOLVER_VERSION`, so a kernel revision that
+changes float bit patterns (e.g. the v2 spectral stepping kernel)
+invalidates cached solves without touching the encoding version."""
 
 
 def _encode_float(value: float) -> str:
@@ -97,6 +102,7 @@ def payload_of(obj: Any) -> dict:
         config = obj or SolverConfig()
         return {
             "kind": "solver_config",
+            "solver_version": SOLVER_VERSION,
             "initial_bins": config.initial_bins,
             "max_bins": config.max_bins,
             "relative_gap": _encode_float(config.relative_gap),
@@ -105,6 +111,7 @@ def payload_of(obj: Any) -> dict:
             "max_iterations": config.max_iterations,
             "stall_relative_change": _encode_float(config.stall_relative_change),
             "use_fft": bool(config.use_fft),
+            "fft_threshold_bins": config.fft_threshold_bins,
         }
     raise TypeError(f"no canonical payload for objects of type {type(obj).__name__}")
 
@@ -144,6 +151,9 @@ def restore(payload: dict) -> Any:
             max_iterations=int(payload["max_iterations"]),
             stall_relative_change=_decode_float(payload["stall_relative_change"]),
             use_fft=bool(payload["use_fft"]),
+            fft_threshold_bins=int(
+                payload.get("fft_threshold_bins", DEFAULT_FFT_THRESHOLD_BINS)
+            ),
         )
     raise ValueError(f"unknown payload kind {kind!r}")
 

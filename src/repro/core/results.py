@@ -6,11 +6,50 @@ can depend on the result shapes without importing solver internals.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["LossRateResult", "OccupancyBounds"]
+__all__ = ["SolverStats", "LossRateResult", "OccupancyBounds"]
+
+
+@dataclass(frozen=True)
+class SolverStats:
+    """Kernel-level accounting of where one solve spent its time.
+
+    Attributes
+    ----------
+    transforms:
+        Number of batched real-FFT operations executed (forward and
+        inverse each count once; the direct-convolution path contributes
+        zero).
+    fft_seconds:
+        Wall-clock seconds inside the convolution kernel — the batched
+        rfft/irfft pair on the spectral path, ``np.convolve`` on the
+        direct path.
+    boundary_seconds:
+        Wall-clock seconds in the spatial-domain boundary handling
+        (reflection at 0, absorption at B, clipping and renormalization).
+    steps_per_level:
+        ``(bins, steps)`` pairs, one per refinement level in visit order,
+        recording how many convolution steps ran at each quantization
+        level.
+    """
+
+    transforms: int
+    fft_seconds: float
+    boundary_seconds: float
+    steps_per_level: tuple[tuple[int, int], ...]
+
+    @property
+    def total_steps(self) -> int:
+        """Convolution steps summed over all refinement levels."""
+        return sum(steps for _, steps in self.steps_per_level)
+
+    @property
+    def kernel_seconds(self) -> float:
+        """Total accounted kernel time (convolution + boundary handling)."""
+        return self.fft_seconds + self.boundary_seconds
 
 
 @dataclass(frozen=True)
@@ -34,6 +73,11 @@ class LossRateResult:
     negligible:
         True when the *upper* bound fell below the negligible-loss
         threshold (1e-10 by default); the paper reports zero loss then.
+    stats:
+        Optional :class:`SolverStats` kernel accounting.  Excluded from
+        equality so a cache round trip (which drops the timings) still
+        compares equal to a fresh solve; ``None`` for trivial/cached
+        results.
     """
 
     lower: float
@@ -42,6 +86,7 @@ class LossRateResult:
     bins: int
     converged: bool
     negligible: bool
+    stats: SolverStats | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.lower < -1e-15:

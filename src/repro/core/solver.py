@@ -23,26 +23,56 @@ survive refinement).
 Stopping rules follow Section III verbatim: report the average of the
 bounds; stop when the gap is below 20 % of the average, or report zero
 loss when the upper bound falls below 1e-10.
+
+The stepping kernel is *spectral*: per refinement level the two static
+increment vectors are transformed once (:class:`_SpectralPlan`), and each
+step advances both chains with a single batched ``(2, L)`` rfft/irfft
+pair over preallocated scratch buffers.  Boundary reflection/absorption
+stays in the spatial domain each step, so Eq. 20 semantics — and with
+them the Proposition II.1 bound ordering — are untouched; only float
+round-off differs from the direct path (see ``SOLVER_VERSION``).
 """
 
 from __future__ import annotations
 
+import time
 from collections.abc import Iterable
 from dataclasses import dataclass
 
 import numpy as np
-from scipy.signal import fftconvolve
+from scipy.fft import irfft, next_fast_len, rfft
 
 from repro.core.loss import expected_overflow, zero_buffer_loss_rate
-from repro.core.results import LossRateResult, OccupancyBounds
+from repro.core.results import LossRateResult, OccupancyBounds, SolverStats
 from repro.core.source import CutoffFluidSource
 from repro.core.validation import check_nonnegative, check_positive
-from repro.core.workload import WorkloadLaw
+from repro.core.workload import DiscretizedWorkload, WorkloadLaw
 
-__all__ = ["SolverConfig", "FluidQueue", "solve_loss_rate"]
+__all__ = [
+    "SOLVER_VERSION",
+    "DEFAULT_FFT_THRESHOLD_BINS",
+    "SolverConfig",
+    "FluidQueue",
+    "solve_loss_rate",
+]
 
-# Below this bin count a direct np.convolve beats FFT setup cost.
-_FFT_THRESHOLD_BINS = 64
+SOLVER_VERSION = 2
+"""Revision of the numeric stepping kernel.
+
+Participates in every solve-cache fingerprint (see
+:mod:`repro.core.fingerprint`), so persisted results from an older kernel
+self-invalidate instead of aliasing.  Bump whenever a kernel change can
+alter the float bit patterns of solver output.  History: 1 = per-chain
+``scipy.signal.fftconvolve`` stepping; 2 = batched spectral kernel with
+cached increment transforms.
+"""
+
+DEFAULT_FFT_THRESHOLD_BINS = 256
+"""Measured crossover below which direct ``np.convolve`` beats the
+spectral kernel (see ``benchmarks/results/ablation_fft_threshold.txt``).
+The old per-call ``fftconvolve`` path paid plan/setup cost every step and
+would have needed ~512 bins to win; caching the increment spectrum moves
+the break-even down to ~256."""
 
 
 @dataclass(frozen=True)
@@ -72,6 +102,12 @@ class SolverConfig:
     use_fft:
         Use FFT convolution (True, paper's recommendation) or direct
         convolution (False; exposed for the solver ablation benchmark).
+    fft_threshold_bins:
+        Bin count below which the solver uses direct convolution even
+        when ``use_fft`` is True (FFT overhead loses at small sizes).
+        Defaults to the measured crossover
+        (:data:`DEFAULT_FFT_THRESHOLD_BINS`); 0 forces the spectral
+        kernel at every size.
     """
 
     initial_bins: int = 128
@@ -82,6 +118,7 @@ class SolverConfig:
     max_iterations: int = 200_000
     stall_relative_change: float = 1e-4
     use_fft: bool = True
+    fft_threshold_bins: int = DEFAULT_FFT_THRESHOLD_BINS
 
     def __post_init__(self) -> None:
         if self.initial_bins < 2:
@@ -95,10 +132,74 @@ class SolverConfig:
         if self.max_iterations < self.block_iterations:
             raise ValueError("max_iterations must be >= block_iterations")
         check_positive("stall_relative_change", self.stall_relative_change)
+        if self.fft_threshold_bins < 0:
+            raise ValueError(
+                f"fft_threshold_bins must be >= 0, got {self.fft_threshold_bins}"
+            )
+
+
+class _KernelCounters:
+    """Mutable per-solve accumulators, shared across refinement levels."""
+
+    __slots__ = ("transforms", "fft_seconds", "boundary_seconds", "levels")
+
+    def __init__(self) -> None:
+        self.transforms = 0
+        self.fft_seconds = 0.0
+        self.boundary_seconds = 0.0
+        self.levels: list[list[int]] = []  # [bins, steps] in level visit order
+
+    def count_steps(self, bins: int, steps: int) -> None:
+        if not self.levels or self.levels[-1][0] != bins:
+            self.levels.append([bins, 0])
+        self.levels[-1][1] += steps
+
+    def stats(self) -> SolverStats:
+        return SolverStats(
+            transforms=self.transforms,
+            fft_seconds=self.fft_seconds,
+            boundary_seconds=self.boundary_seconds,
+            steps_per_level=tuple((bins, steps) for bins, steps in self.levels),
+        )
+
+
+class _SpectralPlan:
+    """Cached spectral geometry for one refinement level.
+
+    Pads the full linear-convolution length ``3M + 1`` to the next fast
+    real-FFT size once, transforms the two static increment vectors once,
+    and keeps the zero-padded input buffer alive across steps — so each
+    step costs exactly one batched forward and one batched inverse real
+    transform, for both chains together.
+    """
+
+    def __init__(self, increments: np.ndarray, bins: int) -> None:
+        # increments is the (2, 2*bins+1) stack [w_lower, w_upper].
+        self.conv_length = 3 * bins + 1
+        self.length = int(next_fast_len(self.conv_length, real=True))
+        self.kernel_spectrum = rfft(increments, n=self.length, axis=1)
+        self.transforms = 2  # the kernel transforms above
+        self._width = bins + 1
+        # Columns beyond _width stay zero forever: only the pmf region is
+        # rewritten each step, so no per-step re-zeroing is needed.
+        self._padded = np.zeros((2, self.length))
+
+    def convolve(self, state: np.ndarray) -> np.ndarray:
+        """Linear convolution of both chains in one rfft/irfft pair."""
+        self._padded[:, : self._width] = state
+        spectrum = rfft(self._padded, axis=1)
+        spectrum *= self.kernel_spectrum
+        self.transforms += 2
+        return irfft(spectrum, n=self.length, axis=1)
 
 
 class _BoundedChains:
-    """The pair of discretized occupancy chains at one quantization level."""
+    """The pair of discretized occupancy chains at one quantization level.
+
+    Both chains live as the rows of one ``(2, M+1)`` state array (row 0 =
+    lower chain, row 1 = upper chain), so a step is a single batched
+    spectral convolution followed by vectorized boundary folding.
+    """
 
     def __init__(
         self,
@@ -106,86 +207,142 @@ class _BoundedChains:
         buffer_size: float,
         bins: int,
         use_fft: bool,
+        fft_threshold_bins: int = DEFAULT_FFT_THRESHOLD_BINS,
         lower_pmf: np.ndarray | None = None,
         upper_pmf: np.ndarray | None = None,
+        discretized: DiscretizedWorkload | None = None,
+        counters: _KernelCounters | None = None,
     ) -> None:
         self.workload = workload
         self.buffer_size = buffer_size
         self.bins = bins
         self.use_fft = use_fft
+        self.fft_threshold_bins = fft_threshold_bins
         self.step = buffer_size / bins
         self.grid = np.arange(bins + 1, dtype=np.float64) * self.step
-        self.w_lower, self.w_upper = workload.discretize(self.step, bins)
+        if discretized is None:
+            discretized = DiscretizedWorkload.build(workload, self.step, bins)
+        elif discretized.bins != bins:
+            raise ValueError(
+                f"discretized workload has {discretized.bins} bins, chains need {bins}"
+            )
+        self.discretized = discretized
+        self.w_lower = discretized.w_lower
+        self.w_upper = discretized.w_upper
         source = workload.source
         self.overflow = np.asarray(
             expected_overflow(source, workload.service_rate, buffer_size, self.grid)
         )
         self.work_per_interval = source.mean_rate * source.mean_interval
+        self._state = np.zeros((2, bins + 1))
         if lower_pmf is None:
-            lower_pmf = np.zeros(bins + 1)
-            lower_pmf[0] = 1.0  # start empty (Eq. 17)
-        if upper_pmf is None:
-            upper_pmf = np.zeros(bins + 1)
-            upper_pmf[-1] = 1.0  # start full (Eq. 17)
-        self.lower_pmf = lower_pmf
-        self.upper_pmf = upper_pmf
-
-    def _advance(self, pmf: np.ndarray, increments: np.ndarray) -> np.ndarray:
-        """One step of Eqs. 19-20: convolve, reflect at 0, absorb at B."""
-        m = self.bins
-        if self.use_fft and m >= _FFT_THRESHOLD_BINS:
-            u = fftconvolve(pmf, increments)
+            self._state[0, 0] = 1.0  # start empty (Eq. 17)
         else:
-            u = np.convolve(pmf, increments)
-        # Index k of u carries the occupancy value (k - m) * step.
-        new = np.empty(m + 1)
-        new[0] = u[: m + 1].sum()
-        new[1:m] = u[m + 1 : 2 * m]
-        new[m] = u[2 * m :].sum()
-        # FFT round-off can leave tiny negatives; clip and renormalize.
-        np.clip(new, 0.0, None, out=new)
-        total = new.sum()
-        if not (0.5 < total < 2.0):  # pragma: no cover - numerical disaster guard
-            raise ArithmeticError("occupancy pmf lost normalization; increments invalid?")
-        return new / total
+            self._state[0] = lower_pmf
+        if upper_pmf is None:
+            self._state[1, -1] = 1.0  # start full (Eq. 17)
+        else:
+            self._state[1] = upper_pmf
+        self._scratch = np.empty_like(self._state)
+        self._plan: _SpectralPlan | None = None  # built on first spectral step
+        self.counters = counters if counters is not None else _KernelCounters()
+
+    @property
+    def lower_pmf(self) -> np.ndarray:
+        return self._state[0]
+
+    @property
+    def upper_pmf(self) -> np.ndarray:
+        return self._state[1]
+
+    @property
+    def spectral(self) -> bool:
+        """True when this level steps through the FFT kernel."""
+        return self.use_fft and self.bins >= self.fft_threshold_bins
 
     def iterate(self, steps: int) -> None:
-        """Advance both chains ``steps`` iterations."""
+        """Advance both chains ``steps`` iterations of Eqs. 19-20."""
+        if steps <= 0:
+            return
+        m = self.bins
+        n = 3 * m + 1
+        counters = self.counters
+        spectral = self.spectral
+        if spectral and self._plan is None:
+            before = time.perf_counter()
+            self._plan = _SpectralPlan(np.vstack([self.w_lower, self.w_upper]), m)
+            counters.fft_seconds += time.perf_counter() - before
+            counters.transforms += self._plan.transforms
         for _ in range(steps):
-            self.lower_pmf = self._advance(self.lower_pmf, self.w_lower)
-            self.upper_pmf = self._advance(self.upper_pmf, self.w_upper)
+            start = time.perf_counter()
+            if spectral:
+                u = self._plan.convolve(self._state)
+                counters.transforms += 2
+            else:
+                u = np.vstack(
+                    [
+                        np.convolve(self._state[0], self.w_lower),
+                        np.convolve(self._state[1], self.w_upper),
+                    ]
+                )
+            mid = time.perf_counter()
+            # Index k of u carries the occupancy value (k - m) * step;
+            # columns beyond n hold only spectral round-off and are dropped.
+            new = self._scratch
+            new[:, 0] = u[:, : m + 1].sum(axis=1)  # reflect sub-zero mass
+            new[:, 1:m] = u[:, m + 1 : 2 * m]
+            new[:, m] = u[:, 2 * m : n].sum(axis=1)  # absorb above-B mass
+            # FFT round-off can leave tiny negatives; clip and renormalize.
+            np.clip(new, 0.0, None, out=new)
+            totals = new.sum(axis=1)
+            if not ((0.5 < totals) & (totals < 2.0)).all():  # pragma: no cover
+                raise ArithmeticError(
+                    "occupancy pmf lost normalization; increments invalid?"
+                )
+            new /= totals[:, np.newaxis]
+            self._state, self._scratch = new, self._state
+            end = time.perf_counter()
+            counters.fft_seconds += mid - start
+            counters.boundary_seconds += end - mid
+        counters.count_steps(m, steps)
 
     def loss_bounds(self) -> tuple[float, float]:
         """Current loss-rate bounds (Eqs. 23-24)."""
-        lower = float(self.lower_pmf @ self.overflow) / self.work_per_interval
-        upper = float(self.upper_pmf @ self.overflow) / self.work_per_interval
+        values = self._state @ self.overflow
+        lower = float(values[0]) / self.work_per_interval
+        upper = float(values[1]) / self.work_per_interval
         return lower, upper
 
     def refined(self) -> "_BoundedChains":
         """Double the bin count, carrying the current pmfs over (footnote 3).
 
         Old grid point ``j * d`` equals new grid point ``2j * d/2``, so the
-        carried-over chains remain valid bounds on the finer grid.
+        carried-over chains remain valid bounds on the finer grid.  The
+        workload discretization is refined in place of being recomputed:
+        only the new grid midpoints cost cdf evaluations.
         """
         lower = np.zeros(2 * self.bins + 1)
         upper = np.zeros(2 * self.bins + 1)
-        lower[::2] = self.lower_pmf
-        upper[::2] = self.upper_pmf
+        lower[::2] = self._state[0]
+        upper[::2] = self._state[1]
         return _BoundedChains(
             workload=self.workload,
             buffer_size=self.buffer_size,
             bins=2 * self.bins,
             use_fft=self.use_fft,
+            fft_threshold_bins=self.fft_threshold_bins,
             lower_pmf=lower,
             upper_pmf=upper,
+            discretized=self.discretized.refined(),
+            counters=self.counters,
         )
 
     def snapshot(self, iterations: int) -> OccupancyBounds:
         """Freeze the current bound distributions (Fig. 2 data)."""
         return OccupancyBounds(
             grid=self.grid.copy(),
-            lower_pmf=self.lower_pmf.copy(),
-            upper_pmf=self.upper_pmf.copy(),
+            lower_pmf=self._state[0].copy(),
+            upper_pmf=self._state[1].copy(),
             iterations=iterations,
         )
 
@@ -282,6 +439,7 @@ class FluidQueue:
             buffer_size=self.buffer_size,
             bins=config.initial_bins,
             use_fft=config.use_fft,
+            fft_threshold_bins=config.fft_threshold_bins,
         )
         iterations = 0
         previous: tuple[float, float] | None = None
@@ -294,18 +452,21 @@ class FluidQueue:
                 return LossRateResult(
                     lower=lower, upper=upper, iterations=iterations,
                     bins=chains.bins, converged=True, negligible=True,
+                    stats=chains.counters.stats(),
                 )
             mid = 0.5 * (lower + upper)
             if upper - lower <= config.relative_gap * mid:
                 return LossRateResult(
                     lower=lower, upper=upper, iterations=iterations,
                     bins=chains.bins, converged=True, negligible=False,
+                    stats=chains.counters.stats(),
                 )
             if previous is not None and self._stalled(previous, (lower, upper), config):
                 if chains.bins * 2 > config.max_bins:
                     return LossRateResult(
                         lower=lower, upper=upper, iterations=iterations,
                         bins=chains.bins, converged=False, negligible=False,
+                        stats=chains.counters.stats(),
                     )
                 chains = chains.refined()
                 previous = None
@@ -315,6 +476,7 @@ class FluidQueue:
         return LossRateResult(
             lower=lower, upper=upper, iterations=iterations,
             bins=chains.bins, converged=False, negligible=upper <= config.negligible_loss,
+            stats=chains.counters.stats(),
         )
 
     def occupancy_bounds(
@@ -322,6 +484,7 @@ class FluidQueue:
         checkpoints: Iterable[int],
         bins: int = 100,
         use_fft: bool = True,
+        fft_threshold_bins: int = DEFAULT_FFT_THRESHOLD_BINS,
     ) -> list[OccupancyBounds]:
         """Bound distributions after given iteration counts (Fig. 2).
 
@@ -339,6 +502,7 @@ class FluidQueue:
             buffer_size=self.buffer_size,
             bins=bins,
             use_fft=use_fft,
+            fft_threshold_bins=fft_threshold_bins,
         )
         snapshots: list[OccupancyBounds] = []
         done = 0
@@ -378,6 +542,7 @@ class FluidQueue:
             buffer_size=self.buffer_size,
             bins=config.initial_bins,
             use_fft=config.use_fft,
+            fft_threshold_bins=config.fft_threshold_bins,
         )
 
         def total_variation() -> float:

@@ -27,7 +27,7 @@ import numpy as np
 from repro.core.source import CutoffFluidSource
 from repro.core.validation import check_positive
 
-__all__ = ["WorkloadLaw"]
+__all__ = ["WorkloadLaw", "DiscretizedWorkload"]
 
 
 @dataclass(frozen=True)
@@ -142,26 +142,106 @@ class WorkloadLaw:
         ``w_L`` quantizes the increment *down* (floor) so the resulting
         queue process is a stochastic lower bound; ``w_H`` quantizes *up*
         (ceil) for the upper bound.
+
+        Solver refinement should go through :class:`DiscretizedWorkload`
+        (of which this is a thin wrapper) so bin doubling reuses the
+        already-evaluated cdf points.
         """
+        discretized = DiscretizedWorkload.build(self, step, bins)
+        return discretized.w_lower, discretized.w_upper
+
+
+def _masses_from_cdfs(
+    lower_cdf: np.ndarray, upper_cdf: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Bin-mass vectors of Eqs. 21-22 from cdf values on ``step * [-m..m]``."""
+    size = lower_cdf.size  # 2 m + 1
+
+    w_lower = np.empty(size)
+    w_lower[0] = lower_cdf[1]
+    w_lower[1:-1] = np.diff(lower_cdf[1:])
+    w_lower[-1] = 1.0 - lower_cdf[-1]
+
+    w_upper = np.empty(size)
+    w_upper[0] = upper_cdf[0]
+    w_upper[1:-1] = np.diff(upper_cdf[:-1])
+    w_upper[-1] = 1.0 - upper_cdf[-2]
+
+    # Guard against float drift: masses are probabilities.
+    np.clip(w_lower, 0.0, 1.0, out=w_lower)
+    np.clip(w_upper, 0.0, 1.0, out=w_upper)
+    return w_lower, w_upper
+
+
+@dataclass(frozen=True, eq=False)
+class DiscretizedWorkload:
+    """One quantization level of a workload law, with its cdf points cached.
+
+    Evaluating the mixture cdf is the expensive part of discretization
+    (one truncated-Pareto branch per rate level per grid point).  Because
+    the solver refines by *doubling* the bin count, every old grid point
+    ``j * step`` reappears on the finer grid as ``2j * step/2`` — bitwise
+    identically, since halving a float and doubling an integer index are
+    both exact.  :meth:`refined` therefore evaluates the cdfs only at the
+    ``2*bins`` new midpoints and interleaves them with the cached values,
+    instead of recomputing all ``4*bins + 1`` points from scratch.
+
+    Attributes
+    ----------
+    law:
+        The workload-increment law being discretized.
+    step, bins:
+        Grid step and bin count; the grid is ``step * [-bins..bins]``.
+    lower_cdf, upper_cdf:
+        ``Pr{W < (j - bins) step}`` and ``Pr{W <= (j - bins) step}``.
+    w_lower, w_upper:
+        The Eqs. 21-22 bin-mass vectors derived from the cdfs.
+    """
+
+    law: WorkloadLaw
+    step: float
+    bins: int
+    lower_cdf: np.ndarray
+    upper_cdf: np.ndarray
+    w_lower: np.ndarray
+    w_upper: np.ndarray
+
+    @classmethod
+    def build(cls, law: WorkloadLaw, step: float, bins: int) -> "DiscretizedWorkload":
+        """Discretize from scratch, evaluating the cdfs at all ``2*bins+1`` points."""
         step = check_positive("step", step)
         if bins < 1:
             raise ValueError(f"bins must be >= 1, got {bins}")
         m = int(bins)
         points = np.arange(-m, m + 1, dtype=np.float64) * step
+        lower_cdf = np.asarray(law.cdf_left(points))  # Pr{W < (j - m) step}
+        upper_cdf = np.asarray(law.cdf(points))  # Pr{W <= (j - m) step}
+        w_lower, w_upper = _masses_from_cdfs(lower_cdf, upper_cdf)
+        return cls(
+            law=law, step=step, bins=m,
+            lower_cdf=lower_cdf, upper_cdf=upper_cdf,
+            w_lower=w_lower, w_upper=w_upper,
+        )
 
-        lower_cdf = np.asarray(self.cdf_left(points))  # Pr{W < (j - m) step}
-        w_lower = np.empty(2 * m + 1)
-        w_lower[0] = lower_cdf[1]
-        w_lower[1:-1] = np.diff(lower_cdf[1:])
-        w_lower[-1] = 1.0 - lower_cdf[-1]
+    def refined(self) -> "DiscretizedWorkload":
+        """Halve the step, evaluating the cdfs only at the new grid midpoints.
 
-        upper_cdf = np.asarray(self.cdf(points))  # Pr{W <= (j - m) step}
-        w_upper = np.empty(2 * m + 1)
-        w_upper[0] = upper_cdf[0]
-        w_upper[1:-1] = np.diff(upper_cdf[:-1])
-        w_upper[-1] = 1.0 - upper_cdf[-2]
-
-        # Guard against float drift: masses are probabilities.
-        np.clip(w_lower, 0.0, 1.0, out=w_lower)
-        np.clip(w_upper, 0.0, 1.0, out=w_upper)
-        return w_lower, w_upper
+        The returned object is bit-identical to
+        ``build(law, step/2, 2*bins)`` (see the class docstring for why the
+        carried-over points match exactly) at half the cdf-evaluation cost.
+        """
+        m = 2 * self.bins
+        step = 0.5 * self.step
+        midpoints = np.arange(-m + 1, m, 2, dtype=np.float64) * step
+        lower_cdf = np.empty(2 * m + 1)
+        lower_cdf[::2] = self.lower_cdf
+        lower_cdf[1::2] = np.asarray(self.law.cdf_left(midpoints))
+        upper_cdf = np.empty(2 * m + 1)
+        upper_cdf[::2] = self.upper_cdf
+        upper_cdf[1::2] = np.asarray(self.law.cdf(midpoints))
+        w_lower, w_upper = _masses_from_cdfs(lower_cdf, upper_cdf)
+        return DiscretizedWorkload(
+            law=self.law, step=step, bins=m,
+            lower_cdf=lower_cdf, upper_cdf=upper_cdf,
+            w_lower=w_lower, w_upper=w_upper,
+        )

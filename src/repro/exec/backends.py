@@ -13,11 +13,17 @@ implementations ship:
   cross the process boundary bit-exactly); workers reconstruct the source
   from the task itself and never touch the parent's ``lru_cache``-held
   traces.  Cell evaluation is embarrassingly parallel — results carry
-  their grid index, so completion order is irrelevant.
+  their grid index, so completion order is irrelevant.  The executor is
+  created lazily on first use and stays warm for the lifetime of the
+  backend, so an engine running several sweeps (the figure registry, a
+  warm benchmark loop) pays worker start-up once, not per sweep; the
+  ``fork`` start method is preferred where the platform offers it because
+  forked workers skip re-importing the scientific stack.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import time
 from collections.abc import Iterator, Sequence
@@ -58,25 +64,44 @@ def _solve_chunk(
 
 
 class ProcessPoolBackend:
-    """Fan tasks out over a process pool in contiguous chunks.
+    """Fan tasks out over a persistent process pool in contiguous chunks.
 
     Parameters
     ----------
     jobs:
         Worker process count; defaults to ``os.cpu_count()``.
     chunk_size:
-        Tasks per submitted chunk.  Defaults to splitting the grid into
+        Tasks per submitted chunk.  Defaults to sizing from the grid:
         roughly four chunks per worker, so stragglers (cells near the
         loss knee converge slowly) can be rebalanced.
+    start_method:
+        ``multiprocessing`` start method for the workers.  ``None``
+        (default) picks ``fork`` where the platform supports it —
+        forked workers inherit the already-imported scientific stack
+        instead of cold-importing it — and falls back to the platform
+        default elsewhere.
+
+    The executor is created on first :meth:`run` and reused across runs
+    until :meth:`close` (also triggered by ``with backend:``), so warm
+    sweeps skip worker start-up entirely.
     """
 
-    def __init__(self, jobs: int | None = None, chunk_size: int | None = None) -> None:
+    def __init__(
+        self,
+        jobs: int | None = None,
+        chunk_size: int | None = None,
+        start_method: str | None = None,
+    ) -> None:
         self.jobs = int(jobs) if jobs else (os.cpu_count() or 1)
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         self.chunk_size = chunk_size
+        if start_method is None and "fork" in multiprocessing.get_all_start_methods():
+            start_method = "fork"
+        self.start_method = start_method
+        self._pool = None
 
     def _chunks(
         self, tasks: Sequence[tuple[int, SolveTask]]
@@ -85,6 +110,18 @@ class ProcessPoolBackend:
         if size is None:
             size = max(1, -(-len(tasks) // (self.jobs * 4)))
         return [list(tasks[i : i + size]) for i in range(0, len(tasks), size)]
+
+    def _executor(self):
+        if self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            context = (
+                multiprocessing.get_context(self.start_method)
+                if self.start_method is not None
+                else None
+            )
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs, mp_context=context)
+        return self._pool
 
     def run(
         self, tasks: Sequence[tuple[int, SolveTask]]
@@ -96,19 +133,33 @@ class ProcessPoolBackend:
             # No parallelism to gain; skip the pool (and its pickling).
             yield from SerialBackend().run(tasks)
             return
-        from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+        from concurrent.futures import FIRST_COMPLETED, wait
 
-        chunks = self._chunks(tasks)
-        workers = min(self.jobs, len(chunks))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            pending = {pool.submit(_solve_chunk, chunk) for chunk in chunks}
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    yield from future.result()
+        pool = self._executor()
+        pending = {pool.submit(_solve_chunk, chunk) for chunk in self._chunks(tasks)}
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                yield from future.result()
+
+    def close(self) -> None:
+        """Shut the warm pool down (idempotent; a later run re-creates it)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ProcessPoolBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"ProcessPoolBackend(jobs={self.jobs})"
+        return (
+            f"ProcessPoolBackend(jobs={self.jobs}, "
+            f"start_method={self.start_method!r}, "
+            f"warm={self._pool is not None})"
+        )
 
 
 def resolve_backend(jobs: int | None) -> SerialBackend | ProcessPoolBackend:

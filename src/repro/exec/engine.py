@@ -46,7 +46,10 @@ class SweepEngine:
         every completed cell.
 
     The engine's :attr:`telemetry` accumulates across runs, so a frontend
-    can execute several plans and report one aggregate summary.
+    can execute several plans and report one aggregate summary.  For the
+    same reason the engine keeps its backend alive between runs — a
+    process-pool backend stays warm across sweeps — and releases it in
+    :meth:`close` (or on ``with engine:`` exit).
     """
 
     def __init__(
@@ -113,6 +116,18 @@ class SweepEngine:
     # ------------------------------------------------------------------ #
     # bookkeeping
     # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Release backend resources (shuts a warm process pool down)."""
+        close = getattr(self.backend, "close", None)
+        if callable(close):
+            close()
+
+    def __enter__(self) -> "SweepEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def _record(self, cell: CellTelemetry, done: int, total: int) -> None:
         self.telemetry.record(cell)

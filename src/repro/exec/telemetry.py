@@ -34,6 +34,12 @@ class CellTelemetry:
         Copied from the :class:`~repro.core.results.LossRateResult`.
     cached:
         True when the result came from the persistent cache.
+    transforms, fft_seconds, boundary_seconds:
+        Kernel-level counters copied from the result's
+        :class:`~repro.core.results.SolverStats` — how many batched FFT
+        operations the solve executed and how its wall-clock time split
+        between the convolution kernel and spatial boundary handling.
+        Zero for cache hits and trivial (closed-form) results.
     """
 
     index: int
@@ -44,6 +50,9 @@ class CellTelemetry:
     converged: bool
     negligible: bool
     cached: bool
+    transforms: int = 0
+    fft_seconds: float = 0.0
+    boundary_seconds: float = 0.0
 
     @classmethod
     def from_result(
@@ -54,6 +63,7 @@ class CellTelemetry:
         result: LossRateResult,
         cached: bool,
     ) -> "CellTelemetry":
+        stats = result.stats
         return cls(
             index=index,
             key=key,
@@ -63,6 +73,9 @@ class CellTelemetry:
             converged=result.converged,
             negligible=result.negligible,
             cached=cached,
+            transforms=stats.transforms if stats is not None else 0,
+            fft_seconds=stats.fft_seconds if stats is not None else 0.0,
+            boundary_seconds=stats.boundary_seconds if stats is not None else 0.0,
         )
 
 
@@ -101,6 +114,21 @@ class SweepTelemetry:
         return sum(c.seconds for c in self.cells)
 
     @property
+    def fft_transforms(self) -> int:
+        """Batched FFT operations executed across all solved cells."""
+        return sum(c.transforms for c in self.cells if not c.cached)
+
+    @property
+    def fft_seconds(self) -> float:
+        """Seconds in the convolution kernel across all solved cells."""
+        return sum(c.fft_seconds for c in self.cells if not c.cached)
+
+    @property
+    def boundary_seconds(self) -> float:
+        """Seconds in spatial boundary handling across all solved cells."""
+        return sum(c.boundary_seconds for c in self.cells if not c.cached)
+
+    @property
     def unconverged_cells(self) -> int:
         return sum(1 for c in self.cells if not c.converged)
 
@@ -113,6 +141,9 @@ class SweepTelemetry:
             "solver_iterations": float(self.solver_iterations),
             "unconverged_cells": float(self.unconverged_cells),
             "solve_seconds": self.solve_seconds,
+            "fft_transforms": float(self.fft_transforms),
+            "fft_seconds": self.fft_seconds,
+            "boundary_seconds": self.boundary_seconds,
         }
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic

@@ -10,7 +10,7 @@ import pytest
 
 from repro.core.fingerprint import PAYLOAD_VERSION, payload_of, restore, stable_hash
 from repro.core.marginal import DiscreteMarginal
-from repro.core.solver import SolverConfig
+from repro.core.solver import DEFAULT_FFT_THRESHOLD_BINS, SOLVER_VERSION, SolverConfig
 from repro.core.source import CutoffFluidSource
 from repro.core.truncated_pareto import TruncatedPareto
 
@@ -90,6 +90,41 @@ class TestStableHash:
             rates=np.array([0.0, 2.0]), probs=np.array([0.5, 0.5])
         )
         assert stable_hash(payload_of(a)) == stable_hash(payload_of(b))
+
+
+class TestSolverVersioning:
+    """Kernel revisions must invalidate cached solves by key construction."""
+
+    def test_config_payload_embeds_solver_version(self):
+        payload = payload_of(SolverConfig())
+        assert payload["solver_version"] == SOLVER_VERSION
+        assert payload["fft_threshold_bins"] == DEFAULT_FFT_THRESHOLD_BINS
+
+    def test_version_bump_changes_every_config_hash(self):
+        current = payload_of(SolverConfig())
+        previous = dict(current, solver_version=SOLVER_VERSION - 1)
+        assert stable_hash(previous) != stable_hash(current)
+
+    def test_v1_era_payload_hashes_differently(self):
+        # Pre-spectral payloads carried neither key; entries stored under
+        # those hashes must never alias solves from the current kernel.
+        current = payload_of(SolverConfig())
+        v1_era = {
+            key: value
+            for key, value in current.items()
+            if key not in ("solver_version", "fft_threshold_bins")
+        }
+        assert stable_hash(v1_era) != stable_hash(current)
+
+    def test_threshold_participates_in_hash(self):
+        forced = stable_hash(payload_of(SolverConfig(fft_threshold_bins=0)))
+        default = stable_hash(payload_of(SolverConfig()))
+        assert forced != default
+
+    def test_restore_tolerates_payload_without_threshold(self):
+        payload = payload_of(SolverConfig())
+        del payload["fft_threshold_bins"]
+        assert restore(payload).fft_threshold_bins == DEFAULT_FFT_THRESHOLD_BINS
 
 
 class TestPickleExactness:

@@ -152,6 +152,7 @@ class TestBoundsAndConvergence:
             workload=WorkloadLaw(source=small_source, service_rate=1.25),
             buffer_size=1.0,
             bins=128,
+            fft_threshold_bins=0,  # force the spectral kernel despite bins < 256
         )
         fft_chains = _BoundedChains(use_fft=True, **kwargs)
         direct_chains = _BoundedChains(use_fft=False, **kwargs)

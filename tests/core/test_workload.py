@@ -12,7 +12,7 @@ from hypothesis import strategies as st
 from repro.core.marginal import DiscreteMarginal
 from repro.core.source import CutoffFluidSource
 from repro.core.truncated_pareto import TruncatedPareto
-from repro.core.workload import WorkloadLaw
+from repro.core.workload import DiscretizedWorkload, WorkloadLaw
 
 
 @pytest.fixture
@@ -161,3 +161,43 @@ class TestDiscretization:
         fine_j = 2 * bins + 8  # same increment value on the fine grid
         combined = fine_lower[fine_j] + fine_lower[fine_j + 1]
         assert combined == pytest.approx(coarse_lower[j], abs=1e-12)
+
+
+class TestDiscretizedWorkload:
+    """The cached-cdf discretization object behind grid refinement."""
+
+    def test_build_matches_discretize(self, workload):
+        discretized = DiscretizedWorkload.build(workload, step=0.05, bins=64)
+        w_lower, w_upper = workload.discretize(step=0.05, bins=64)
+        np.testing.assert_array_equal(discretized.w_lower, w_lower)
+        np.testing.assert_array_equal(discretized.w_upper, w_upper)
+        assert discretized.bins == 64
+        assert discretized.step == 0.05
+        assert discretized.law is workload
+
+    def test_refined_is_bit_identical_to_rebuild(self, workload):
+        # Halving a float step is exact, so refined grid points coincide
+        # bitwise with a from-scratch build at double resolution — the
+        # midpoint-only cdf evaluation must therefore be lossless.
+        coarse = DiscretizedWorkload.build(workload, step=0.1, bins=32)
+        refined = coarse.refined()
+        rebuilt = DiscretizedWorkload.build(workload, step=0.05, bins=64)
+        assert refined.bins == rebuilt.bins
+        assert refined.step == rebuilt.step
+        np.testing.assert_array_equal(refined.lower_cdf, rebuilt.lower_cdf)
+        np.testing.assert_array_equal(refined.upper_cdf, rebuilt.upper_cdf)
+        np.testing.assert_array_equal(refined.w_lower, rebuilt.w_lower)
+        np.testing.assert_array_equal(refined.w_upper, rebuilt.w_upper)
+
+    def test_repeated_refinement_stays_exact(self, workload):
+        discretized = DiscretizedWorkload.build(workload, step=0.2, bins=16)
+        for _ in range(3):
+            discretized = discretized.refined()
+        rebuilt = DiscretizedWorkload.build(workload, step=0.025, bins=128)
+        np.testing.assert_array_equal(discretized.w_lower, rebuilt.w_lower)
+        np.testing.assert_array_equal(discretized.w_upper, rebuilt.w_upper)
+
+    def test_refined_masses_stay_normalized(self, workload):
+        refined = DiscretizedWorkload.build(workload, step=0.05, bins=64).refined()
+        assert refined.w_lower.sum() == pytest.approx(1.0, abs=1e-9)
+        assert refined.w_upper.sum() == pytest.approx(1.0, abs=1e-9)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import multiprocessing
+
 import numpy as np
 import pytest
 
@@ -65,6 +67,51 @@ class TestProcessPoolBackend:
             ProcessPoolBackend(jobs=-2)
         with pytest.raises(ValueError, match="chunk_size"):
             ProcessPoolBackend(jobs=2, chunk_size=0)
+
+
+class TestWarmPool:
+    """The executor is created once and survives across run() calls."""
+
+    def test_pool_persists_across_runs(self, indexed_tasks):
+        with ProcessPoolBackend(jobs=2, chunk_size=1) as backend:
+            assert backend._pool is None  # lazy: nothing until first run
+            list(backend.run(indexed_tasks))
+            pool = backend._pool
+            assert pool is not None
+            list(backend.run(indexed_tasks))
+            assert backend._pool is pool  # same warm executor, no restart
+        assert backend._pool is None  # context exit shuts it down
+
+    def test_close_is_idempotent(self):
+        backend = ProcessPoolBackend(jobs=2)
+        backend.close()  # never warmed — still fine
+        backend._executor()
+        backend.close()
+        backend.close()
+        assert backend._pool is None
+
+    def test_run_after_close_recreates_the_pool(self, indexed_tasks):
+        backend = ProcessPoolBackend(jobs=2, chunk_size=1)
+        first = {i: r.lower for i, r, _ in backend.run(indexed_tasks)}
+        backend.close()
+        second = {i: r.lower for i, r, _ in backend.run(indexed_tasks)}
+        backend.close()
+        assert first == second
+
+    def test_serial_fallback_does_not_warm_the_pool(self, indexed_tasks):
+        backend = ProcessPoolBackend(jobs=1)
+        list(backend.run(indexed_tasks))
+        assert backend._pool is None
+
+    def test_prefers_fork_where_available(self):
+        backend = ProcessPoolBackend(jobs=2)
+        if "fork" in multiprocessing.get_all_start_methods():
+            assert backend.start_method == "fork"
+        else:  # pragma: no cover - non-fork platforms
+            assert backend.start_method is None
+
+    def test_explicit_start_method_wins(self):
+        assert ProcessPoolBackend(jobs=2, start_method="spawn").start_method == "spawn"
 
 
 class TestResolveBackend:

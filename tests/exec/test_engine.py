@@ -5,7 +5,10 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core.fingerprint import stable_hash
+from repro.core.results import LossRateResult
 from repro.core.solver import SolverConfig, solve_loss_rate
+from repro.exec.backends import SerialBackend
 from repro.exec.cache import SolveCache
 from repro.exec.engine import SweepEngine
 from repro.exec.task import SolveTask, SweepPlan
@@ -92,6 +95,64 @@ class TestCaching:
         assert engine.telemetry.cache_misses == engine.telemetry.total_cells
 
 
+class TestCacheInvalidation:
+    def test_pre_spectral_entries_are_missed_not_aliased(self, small_source, tmp_path):
+        """Acceptance: a kernel version bump must orphan old cache entries.
+
+        Simulates a cache populated by the pre-spectral (v1) kernel, whose
+        config payloads carried neither ``solver_version`` nor
+        ``fft_threshold_bins``.  The engine must miss that entry and solve
+        fresh rather than serve the stale result.
+        """
+        task = SolveTask(small_source, 0.85, 0.1, FAST)
+        payload = task.payload()
+        v1_config = {
+            key: value
+            for key, value in payload["config"].items()
+            if key not in ("solver_version", "fft_threshold_bins")
+        }
+        stale_key = stable_hash(dict(payload, config=v1_config))
+        assert stale_key != task.cache_key()
+
+        poison = LossRateResult(
+            lower=0.123, upper=0.456, iterations=1, bins=8,
+            converged=True, negligible=False,
+        )
+        SolveCache(tmp_path).put(stale_key, poison)
+
+        engine = SweepEngine(cache=SolveCache(tmp_path))
+        result = engine.solve(task)
+        assert engine.telemetry.cache_hits == 0
+        assert engine.telemetry.cache_misses == 1
+        direct = task.run()
+        assert result.lower == direct.lower
+        assert result.upper == direct.upper
+        # Both the orphaned and the fresh entry coexist under distinct keys.
+        reopened = SolveCache(tmp_path)
+        assert reopened.get(stale_key) == poison
+        assert reopened.get(task.cache_key()) is not None
+
+
+class TestEngineLifecycle:
+    def test_context_manager_closes_the_backend(self, small_source):
+        class RecordingBackend(SerialBackend):
+            closed = False
+
+            def close(self):
+                self.closed = True
+
+        backend = RecordingBackend()
+        with SweepEngine(backend=backend) as engine:
+            engine.solve(SolveTask(small_source, 0.85, 0.1, FAST))
+            assert not backend.closed
+        assert backend.closed
+
+    def test_close_tolerates_backends_without_close(self, small_source):
+        engine = SweepEngine()  # SerialBackend has no close()
+        engine.solve(SolveTask(small_source, 0.85, 0.1, FAST))
+        engine.close()
+
+
 class TestTelemetryAndProgress:
     def test_progress_callback_sees_every_cell(self, small_source):
         calls = []
@@ -112,6 +173,23 @@ class TestTelemetryAndProgress:
         assert summary["cells"] == 2.0
         assert summary["solver_iterations"] > 0
         assert summary["solve_seconds"] >= 0.0
+
+    def test_summary_reports_kernel_counters(self, small_source, tmp_path):
+        engine = SweepEngine(cache=SolveCache(tmp_path))
+        engine.solve(SolveTask(small_source, 0.85, 0.1, FAST))
+        summary = engine.telemetry.summary()
+        assert summary["fft_seconds"] >= 0.0
+        assert summary["boundary_seconds"] >= 0.0
+        assert summary["fft_transforms"] >= 0.0
+        solved_transforms = engine.telemetry.fft_transforms
+        # A cache hit replays the result without kernel work: the solved
+        # counters must not move.
+        warm = SweepEngine(cache=SolveCache(tmp_path))
+        warm.solve(SolveTask(small_source, 0.85, 0.1, FAST))
+        assert warm.telemetry.cache_hits == 1
+        assert warm.telemetry.fft_transforms == 0
+        assert warm.telemetry.fft_seconds == 0.0
+        assert solved_transforms == engine.telemetry.fft_transforms
 
     def test_solve_returns_the_plain_result(self, small_source):
         engine = SweepEngine()
