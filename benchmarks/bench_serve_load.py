@@ -1,0 +1,287 @@
+"""Load generation against the serving layer — the queueing system serving
+the queueing theory.
+
+Drives an in-process ``repro.serve`` server (warm process-pool engine,
+bounded admission queue) with three arrival schedules and records
+client-side throughput, latency percentiles and shedding:
+
+* **poisson** — open-loop Poisson arrivals at a sustainable rate: the
+  steady-traffic regime; p99 should stay bounded and nothing sheds.
+* **onoff** — bursty on/off arrivals (the paper's own traffic model
+  applied to the service): bursts exceed the service rate, the bounded
+  queue absorbs what it can and 429-sheds the excess gracefully.
+* **flood** — an instantaneous burst of several times the admission
+  limit in *distinct* requests: demonstrates hard overload behaviour —
+  bounded queue depth, 429 + Retry-After for the excess, zero 5xx.
+
+Requests mix distinct loss solves (the expensive path), repeat solves
+(coalescing/cache hits) and analytic horizon queries.  Results are
+persisted to ``benchmarks/results/perf_serve_load.txt``.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_serve_load.py``,
+add ``--quick`` for a shorter run) or let CI exercise the smoke test
+(``pytest benchmarks/bench_serve_load.py::test_serve_smoke``).
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from _common import persist
+from repro.exec import ProcessPoolBackend, SolveCache, SweepEngine
+from repro.serve import QueryService, ServeClient, ServeError, make_server
+
+SEED = 20260806
+JOBS = 4
+MAX_QUEUE = 32
+BATCH_SIZE = 8
+BATCH_DELAY_S = 0.01
+# Small-but-not-trivial solves: a few milliseconds each, so bursts
+# genuinely contend for the pool instead of returning instantly.
+SOLVE_FIELDS = {"hurst": 0.75, "cutoff": 2.0, "initial_bins": 64,
+                "max_bins": 128, "relative_gap": 0.3, "timeout_s": 60.0}
+DISTINCT_BUFFERS = 12
+
+
+# --------------------------------------------------------------------- #
+# harness
+# --------------------------------------------------------------------- #
+
+def _start_server(tmp_cache_dir: str | None = None):
+    """In-process server on a free port over a warm 4-worker engine."""
+    cache = SolveCache(tmp_cache_dir) if tmp_cache_dir else None
+    engine = SweepEngine(backend=ProcessPoolBackend(jobs=JOBS), cache=cache)
+    service = QueryService(
+        engine,
+        batch_size=BATCH_SIZE,
+        batch_delay_s=BATCH_DELAY_S,
+        max_queue=MAX_QUEUE,
+        default_timeout_s=60.0,
+    )
+    server = make_server("127.0.0.1", 0, service).start_background()
+    client = ServeClient(f"http://127.0.0.1:{server.port}", timeout_s=120.0)
+    client.wait_until_ready(timeout_s=10.0)
+    return server, client
+
+
+@dataclass
+class _Tally:
+    """Client-side accounting for one schedule."""
+
+    latencies: list[float] = field(default_factory=list)
+    shed: int = 0
+    server_errors: int = 0
+    other_errors: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def record(self, seconds: float) -> None:
+        with self._lock:
+            self.latencies.append(seconds)
+
+    def reject(self, status: int) -> None:
+        with self._lock:
+            if status == 429:
+                self.shed += 1
+            elif status >= 500:
+                self.server_errors += 1
+            else:
+                self.other_errors += 1
+
+    def percentile(self, level: float) -> float:
+        with self._lock:
+            ordered = sorted(self.latencies)
+        if not ordered:
+            return 0.0
+        rank = max(1, -(-int(level * 100) * len(ordered) // 100))
+        return ordered[min(rank, len(ordered)) - 1]
+
+
+def _request_body(index: int, rng: np.random.Generator) -> dict:
+    """The request mix: mostly loss solves over a rotating task set, some analytic."""
+    if rng.random() < 0.15:
+        return {"kind": "horizon", "hurst": 0.75, "buffer": 0.5}
+    buffer = 0.30 + 0.02 * (index % DISTINCT_BUFFERS)
+    return {"kind": "loss", "buffer": buffer, **SOLVE_FIELDS}
+
+
+def _fire(client: ServeClient, body: dict, tally: _Tally) -> None:
+    start = time.perf_counter()
+    try:
+        client.query(body)
+        tally.record(time.perf_counter() - start)
+    except ServeError as error:
+        tally.reject(error.status)
+    except Exception:
+        tally.reject(0)
+
+
+def _run_schedule(client: ServeClient, arrivals: np.ndarray,
+                  rng: np.random.Generator, workers: int = 64) -> tuple[_Tally, float]:
+    """Open-loop: fire request i at absolute offset ``arrivals[i]`` seconds."""
+    tally = _Tally()
+    start = time.monotonic()
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        for index, offset in enumerate(arrivals):
+            delay = start + float(offset) - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            pool.submit(_fire, client, _request_body(index, rng), tally)
+    return tally, time.monotonic() - start
+
+
+def _poisson_arrivals(rate_hz: float, duration_s: float,
+                      rng: np.random.Generator) -> np.ndarray:
+    gaps = rng.exponential(1.0 / rate_hz, size=int(rate_hz * duration_s * 2) + 16)
+    times = np.cumsum(gaps)
+    return times[times < duration_s]
+
+
+def _onoff_arrivals(burst_rate_hz: float, burst_s: float, idle_s: float,
+                    duration_s: float) -> np.ndarray:
+    times: list[float] = []
+    cursor = 0.0
+    while cursor < duration_s:
+        burst_end = min(cursor + burst_s, duration_s)
+        times.extend(np.arange(cursor, burst_end, 1.0 / burst_rate_hz))
+        cursor = burst_end + idle_s
+    return np.asarray(times)
+
+
+def _flood(client: ServeClient, n_requests: int) -> _Tally:
+    """All requests at once, each a *distinct* solve (nothing coalesces)."""
+    tally = _Tally()
+    bodies = [
+        {"kind": "loss", "buffer": 0.25 + 0.003 * i, **SOLVE_FIELDS}
+        for i in range(n_requests)
+    ]
+    with ThreadPoolExecutor(max_workers=n_requests) as pool:
+        for body in bodies:
+            pool.submit(_fire, client, body, tally)
+    return tally
+
+
+def _format_section(name: str, offered: int, tally: _Tally, duration: float) -> list[str]:
+    completed = len(tally.latencies)
+    lines = [
+        f"[{name}]",
+        f"  offered_requests      {offered}",
+        f"  completed             {completed}",
+        f"  shed_429              {tally.shed}",
+        f"  server_errors_5xx     {tally.server_errors}",
+        f"  other_errors          {tally.other_errors}",
+        f"  duration_s            {duration:.2f}",
+        f"  throughput_rps        {completed / duration if duration else 0.0:.1f}",
+        f"  latency_p50_s         {tally.percentile(0.50):.4f}",
+        f"  latency_p90_s         {tally.percentile(0.90):.4f}",
+        f"  latency_p99_s         {tally.percentile(0.99):.4f}",
+        "",
+    ]
+    return lines
+
+
+# --------------------------------------------------------------------- #
+# CI smoke test
+# --------------------------------------------------------------------- #
+
+def test_serve_smoke(tmp_path):
+    """50 mixed requests: zero 5xx, bounded p99, clean shutdown."""
+    server, client = _start_server(str(tmp_path / "serve-cache"))
+    rng = np.random.default_rng(SEED)
+    tally = _Tally()
+    try:
+        bodies = [_request_body(i, rng) for i in range(47)]
+        bodies += [{"kind": "dimension", "hurst": 0.7, "cutoff": 2.0, "buffer": 0.3,
+                    "target_loss": 1e-2, "relative_gap": 0.5,
+                    "initial_bins": 32, "max_bins": 64}] * 3
+        with ThreadPoolExecutor(max_workers=16) as pool:
+            for body in bodies:
+                pool.submit(_fire, client, body, tally)
+        stats = client.stats()
+    finally:
+        server.close()  # graceful drain must not raise
+
+    assert tally.server_errors == 0, "5xx responses under smoke load"
+    assert tally.other_errors == 0
+    assert len(tally.latencies) + tally.shed == 50
+    assert len(tally.latencies) >= 40  # shedding tolerated, not collapse
+    # Generous bound: tiny solves through a warm pool; catches hangs and
+    # pathological queueing, not honest scheduler jitter.
+    assert tally.percentile(0.99) < 10.0
+    assert stats["errors"] == 0
+
+
+# --------------------------------------------------------------------- #
+# full benchmark
+# --------------------------------------------------------------------- #
+
+def main(argv: list[str] | None = None) -> int:
+    quick = "--quick" in (argv if argv is not None else sys.argv[1:])
+    duration = 3.0 if quick else 8.0
+    rng = np.random.default_rng(SEED)
+
+    lines = [
+        "Serving-layer load benchmark (bench_serve_load.py)",
+        f"engine: ProcessPoolBackend(jobs={JOBS}), batch<= {BATCH_SIZE} "
+        f"@ {BATCH_DELAY_S * 1000:.0f}ms, admission queue <= {MAX_QUEUE}",
+        f"solve mix: {DISTINCT_BUFFERS} distinct tasks, 15% analytic horizon queries",
+        "",
+    ]
+
+    server, client = _start_server()
+    try:
+        # Warm the pool and the per-task coalescing windows once.
+        _fire(client, _request_body(0, rng), _Tally())
+
+        arrivals = _poisson_arrivals(rate_hz=40.0, duration_s=duration, rng=rng)
+        tally, elapsed = _run_schedule(client, arrivals, rng)
+        lines += _format_section(
+            f"open-loop poisson @ 40 rps, {duration:.0f}s",
+            len(arrivals), tally, elapsed,
+        )
+
+        arrivals = _onoff_arrivals(
+            burst_rate_hz=150.0, burst_s=0.5, idle_s=0.5, duration_s=duration
+        )
+        tally, elapsed = _run_schedule(client, arrivals, rng)
+        lines += _format_section(
+            f"bursty on/off @ 150 rps x 0.5s bursts, {duration:.0f}s",
+            len(arrivals), tally, elapsed,
+        )
+
+        flood_n = 3 * MAX_QUEUE
+        start = time.monotonic()
+        tally = _flood(client, flood_n)
+        elapsed = time.monotonic() - start
+        lines += _format_section(
+            f"flood: {flood_n} distinct solves at once (queue limit {MAX_QUEUE})",
+            flood_n, tally, elapsed,
+        )
+
+        stats = client.stats()
+        lines += [
+            "[server /stats after run]",
+            f"  accepted              {stats['accepted']}",
+            f"  completed             {stats['completed']}",
+            f"  coalesce_hits         {stats['coalesce']['hits']}",
+            f"  engine_cache_hits     {stats['engine']['cache_hits']:.0f}",
+            f"  backend_solves        {stats['engine']['cache_misses']:.0f}",
+            f"  batches               {stats['queue']['batches']}",
+            f"  mean_batch            {stats['queue']['mean_batch']:.2f}",
+            f"  shed_total            {stats['queue']['shed']}",
+            f"  solve_p99_s           {stats['latency_s']['solve']['p99_s']:.4f}",
+        ]
+    finally:
+        server.close()
+
+    persist("perf_serve_load", "\n".join(lines))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

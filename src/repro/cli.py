@@ -12,6 +12,16 @@ Subcommands
     Analytic correlation-horizon estimates for the same source.
 ``trace``
     Synthesize a reference trace and print its calibration statistics.
+``serve``
+    Run the long-lived loss-rate query service
+    (``repro-lrd serve --port 8787 --jobs 4``): an HTTP endpoint that
+    coalesces identical concurrent requests, micro-batches work into the
+    warm engine, and sheds load beyond its admission limit (429/503 with
+    Retry-After).  Endpoints: ``POST /v1/query``, ``GET /healthz``,
+    ``GET /stats``.  Stop with Ctrl-C; in-flight requests drain first.
+``cache``
+    Inspect or maintain the persistent solve cache
+    (``repro-lrd cache --stats``, ``repro-lrd cache --compact``).
 
 Execution-engine flags (``figure`` and ``solve``)
 -------------------------------------------------
@@ -92,6 +102,42 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list the figures the runner can regenerate")
 
+    serve = sub.add_parser("serve", help="run the loss-rate query service over HTTP")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8787, help="0 picks a free port")
+    serve.add_argument(
+        "--batch-size", type=int, default=16, metavar="N",
+        help="max requests per dispatched micro-batch (default: 16)",
+    )
+    serve.add_argument(
+        "--batch-delay", type=float, default=0.02, metavar="SECONDS",
+        help="max wait for a batch to fill after its first request (default: 0.02)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=256, metavar="N",
+        help="admission limit on queued requests; beyond it requests get 429",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=30.0, metavar="SECONDS",
+        help="default per-request timeout (requests may override)",
+    )
+    _add_engine_flags(serve)
+
+    cache = sub.add_parser("cache", help="inspect or maintain the persistent solve cache")
+    cache_action = cache.add_mutually_exclusive_group()
+    cache_action.add_argument(
+        "--stats", action="store_true",
+        help="print entry/file statistics (the default action)",
+    )
+    cache_action.add_argument(
+        "--compact", action="store_true",
+        help="rewrite the cache file keeping the last record per key",
+    )
+    cache.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="solve-cache directory (default: $REPRO_LRD_CACHE_DIR or ~/.cache/repro-lrd)",
+    )
+
     dimension = sub.add_parser(
         "dimension", help="effective bandwidth / multiplexing gain for an on/off source"
     )
@@ -164,6 +210,67 @@ def _print_engine_summary(engine: "SweepEngine") -> None:
     )
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    """Run the HTTP query service until interrupted, then drain."""
+    from repro.exec import SolveCache, SweepEngine, resolve_backend
+    from repro.serve import QueryService, make_server
+
+    if args.no_cache:
+        cache = None
+    else:
+        try:
+            cache = SolveCache(args.cache_dir)
+        except ValueError as error:
+            raise SystemExit(f"repro-lrd: {error}") from None
+    # No progress callback: per-cell narration is for one-shot sweeps,
+    # not a long-lived server handling many batches.
+    engine = SweepEngine(backend=resolve_backend(args.jobs), cache=cache)
+    service = QueryService(
+        engine,
+        batch_size=args.batch_size,
+        batch_delay_s=args.batch_delay,
+        max_queue=args.max_queue,
+        default_timeout_s=args.timeout,
+    )
+    server = make_server(args.host, args.port, service)
+    print(
+        f"repro-lrd serve: listening on http://{args.host}:{server.port} "
+        f"(jobs={args.jobs}, batch={args.batch_size}/{args.batch_delay:g}s, "
+        f"queue<={args.max_queue}, cache={'off' if cache is None else cache.directory})",
+        file=sys.stderr, flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("repro-lrd serve: draining...", file=sys.stderr, flush=True)
+    finally:
+        server.close(drain=True)
+    return 0
+
+
+def _run_cache(args: argparse.Namespace) -> int:
+    """Inspect (--stats, default) or compact (--compact) the solve cache."""
+    from repro.exec import SolveCache
+
+    try:
+        cache = SolveCache(args.cache_dir)
+    except ValueError as error:
+        raise SystemExit(f"repro-lrd: {error}") from None
+    if args.compact:
+        before, after = cache.compact()
+        print(f"compacted {cache.path}: {before} -> {after} lines")
+        return 0
+    stats = cache.file_stats()
+    values = {
+        "entries": float(stats["entries"]),
+        "file_lines": float(stats["file_lines"]),
+        "stale_lines": float(stats["stale_lines"]),
+        "file_bytes": float(stats["file_bytes"]),
+    }
+    print(reporting.format_mapping(values, f"Solve cache at {stats['path']}"))
+    return 0
+
+
 def _onoff_source(args: argparse.Namespace) -> CutoffFluidSource:
     marginal = DiscreteMarginal.two_state(
         low=0.0, high=args.peak, prob_high=args.on_probability
@@ -193,6 +300,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         for number in sorted(FIGURES):
             print(f"  figure {number:2d}  {FIGURES[number].title}")
         return 0
+
+    if args.command == "serve":
+        return _run_serve(args)
+
+    if args.command == "cache":
+        return _run_cache(args)
 
     if args.command == "figure":
         with _build_engine(args) as engine:

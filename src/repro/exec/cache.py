@@ -11,20 +11,37 @@ machines.
 Invalidation is by key construction, not by mutation: any change to a
 task parameter or to the payload encoding (``PAYLOAD_VERSION``) yields a
 different key, so stale entries are never *read* — they just age in the
-file.  Deleting the cache directory is always safe.
+file.  :meth:`SolveCache.compact` rewrites the file keeping the last
+record per key when that aging matters.  Deleting the cache directory is
+always safe.
+
+Concurrency: multiple processes (server workers, parallel CLI runs) may
+share one cache file.  Appends are serialized through an advisory
+``fcntl`` lock on a sidecar ``.lock`` file (a no-op on platforms without
+``fcntl``), each record is written in a single ``write`` call terminated
+by a newline, and loading tolerates a truncated or corrupt trailing line
+— a reader racing a writer sees at worst one unparseable record, which
+is skipped, never an exception.
 """
 
 from __future__ import annotations
 
 import json
 import os
+from contextlib import contextmanager
 from pathlib import Path
+
+try:  # POSIX advisory locking; gracefully absent elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 from repro.core.results import LossRateResult
 
 __all__ = ["SolveCache", "default_cache_dir"]
 
 _CACHE_FILENAME = "solve_cache.jsonl"
+_LOCK_FILENAME = "solve_cache.lock"
 
 
 def default_cache_dir() -> str:
@@ -61,21 +78,39 @@ class SolveCache:
     # storage
     # ------------------------------------------------------------------ #
 
+    @contextmanager
+    def _file_lock(self):
+        """Advisory cross-process lock serializing writers (no-op sans fcntl)."""
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            yield
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        with (self.directory / _LOCK_FILENAME).open("a") as lock_handle:
+            fcntl.flock(lock_handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(lock_handle.fileno(), fcntl.LOCK_UN)
+
+    def _read_records(self) -> dict[str, LossRateResult]:
+        """Parse the JSONL file, last record per key wins, corrupt lines skipped."""
+        store: dict[str, LossRateResult] = {}
+        if self.path.exists():
+            with self.path.open("r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                        store[record["key"]] = _result_from_record(record)
+                    except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                        continue  # truncated/corrupt line (e.g. a racing writer)
+        return store
+
     def _load(self) -> dict[str, LossRateResult]:
         if self._store is None:
-            store: dict[str, LossRateResult] = {}
-            if self.path.exists():
-                with self.path.open("r", encoding="utf-8") as handle:
-                    for line in handle:
-                        line = line.strip()
-                        if not line:
-                            continue
-                        try:
-                            record = json.loads(line)
-                            store[record["key"]] = _result_from_record(record)
-                        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
-                            continue  # skip truncated/corrupt lines, keep the rest
-            self._store = store
+            self._store = self._read_records()
         return self._store
 
     def __len__(self) -> int:
@@ -94,20 +129,82 @@ class SolveCache:
         return result
 
     def put(self, key: str, result: LossRateResult) -> None:
-        """Store a result in memory and append it to the JSONL file."""
+        """Store a result in memory and append it to the JSONL file.
+
+        The append runs under the advisory file lock so concurrent
+        writers (server workers sharing one cache directory) interleave
+        whole records, never bytes.  If the file's last byte is not a
+        newline — a writer died mid-record — a newline is inserted first
+        so the earlier damage stays confined to its own line.
+        """
         store = self._load()
         if key in store:
             return
         store[key] = result
+        line = json.dumps(_record_from_result(key, result)) + "\n"
         self.directory.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(_record_from_result(key, result)) + "\n")
+        with self._file_lock():
+            repair = b""
+            if self.path.exists() and self.path.stat().st_size > 0:
+                with self.path.open("rb") as handle:
+                    handle.seek(-1, os.SEEK_END)
+                    if handle.read(1) != b"\n":
+                        repair = b"\n"
+            with self.path.open("ab") as handle:
+                handle.write(repair + line.encode("utf-8"))
 
     def clear(self) -> None:
         """Drop every entry (memory and disk)."""
         self._store = {}
+        with self._file_lock():
+            if self.path.exists():
+                self.path.unlink()
+
+    # ------------------------------------------------------------------ #
+    # maintenance
+    # ------------------------------------------------------------------ #
+
+    def compact(self) -> tuple[int, int]:
+        """Rewrite the JSONL keeping the last record per key.
+
+        Returns ``(lines_before, lines_after)``.  The rewrite happens
+        under the file lock via an atomic rename, so concurrent readers
+        see either the old file or the new one, never a partial file;
+        the in-memory store is refreshed from the compacted contents.
+        """
+        with self._file_lock():
+            lines_before = 0
+            if self.path.exists():
+                with self.path.open("r", encoding="utf-8") as handle:
+                    lines_before = sum(1 for line in handle if line.strip())
+            store = self._read_records()
+            self._store = store
+            if not store:
+                if self.path.exists():
+                    self.path.unlink()
+                return lines_before, 0
+            tmp_path = self.path.with_suffix(".jsonl.tmp")
+            with tmp_path.open("w", encoding="utf-8") as handle:
+                for key, result in store.items():
+                    handle.write(json.dumps(_record_from_result(key, result)) + "\n")
+            os.replace(tmp_path, self.path)
+        return lines_before, len(store)
+
+    def file_stats(self) -> dict:
+        """Snapshot for ``repro-lrd cache --stats`` and the serve layer."""
+        lines = 0
+        size = 0
         if self.path.exists():
-            self.path.unlink()
+            size = self.path.stat().st_size
+            with self.path.open("r", encoding="utf-8") as handle:
+                lines = sum(1 for line in handle if line.strip())
+        return {
+            "path": str(self.path),
+            "entries": len(self._load()),
+            "file_lines": lines,
+            "file_bytes": size,
+            "stale_lines": max(0, lines - len(self._load())),
+        }
 
 
 def _record_from_result(key: str, result: LossRateResult) -> dict:

@@ -62,13 +62,23 @@ class SweepEngine:
         self.cache = cache
         self.progress = progress
         self.telemetry = SweepTelemetry()
+        self._closed = False
 
     # ------------------------------------------------------------------ #
     # execution
     # ------------------------------------------------------------------ #
 
     def run_tasks(self, tasks: list[SolveTask] | tuple[SolveTask, ...]) -> list[LossRateResult]:
-        """Execute tasks (cache first, then backend), preserving task order."""
+        """Execute tasks (cache first, then backend), preserving task order.
+
+        Raises :class:`RuntimeError` once the engine has been closed —
+        the backend's pool is gone, so silently recreating it would hide
+        a lifecycle bug in the caller.
+        """
+        if self._closed:
+            raise RuntimeError(
+                "SweepEngine is closed; create a new engine to run more tasks"
+            )
         total = len(tasks)
         results: list[LossRateResult | None] = [None] * total
         done = 0
@@ -117,8 +127,21 @@ class SweepEngine:
     # bookkeeping
     # ------------------------------------------------------------------ #
 
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run; a closed engine rejects new work."""
+        return self._closed
+
     def close(self) -> None:
-        """Release backend resources (shuts a warm process pool down)."""
+        """Release backend resources (shuts a warm process pool down).
+
+        Idempotent: calling it again is a no-op.  After closing, the
+        engine permanently rejects :meth:`run_tasks`/:meth:`solve`/
+        :meth:`run_grid`.
+        """
+        if self._closed:
+            return
+        self._closed = True
         close = getattr(self.backend, "close", None)
         if callable(close):
             close()

@@ -1,0 +1,63 @@
+"""Serving layer: a long-lived loss-rate query service over the engine.
+
+The batch path (CLI, sweeps, benchmarks) answers "run this grid once";
+this package answers *interactive* what-if exploration — many clients
+concurrently asking for loss rates, correlation horizons and
+dimensioning answers over a shared warm engine:
+
+* :mod:`~repro.serve.protocol` — strict JSON request/response schema
+  whose identity is the ``repro.core.fingerprint`` task key;
+* :mod:`~repro.serve.coalescer` — identical concurrent requests share
+  one in-flight computation;
+* :mod:`~repro.serve.batcher` — size-or-deadline micro-batching with a
+  bounded admission queue;
+* :mod:`~repro.serve.service` — the transport-independent core wiring
+  coalescer → batcher → :class:`~repro.exec.engine.SweepEngine`, with
+  per-request timeouts, 429/503 shedding and graceful drain;
+* :mod:`~repro.serve.httpd` — stdlib threading HTTP front-end
+  (``POST /v1/query``, ``GET /healthz``, ``GET /stats``);
+* :mod:`~repro.serve.client` — stdlib client with typed errors;
+* :mod:`~repro.serve.stats` — bounded-window latency percentiles.
+"""
+
+from repro.serve.batcher import BatcherClosedError, MicroBatcher, QueueFullError
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.coalescer import RequestCoalescer
+from repro.serve.httpd import ServeServer, make_server
+from repro.serve.protocol import (
+    KINDS,
+    ProtocolError,
+    QueryRequest,
+    parse_request,
+    result_payload,
+)
+from repro.serve.service import (
+    QueryService,
+    QueryTimeoutError,
+    ServiceDrainingError,
+    ServiceOverloadedError,
+    ServiceRejection,
+)
+from repro.serve.stats import LatencyTracker
+
+__all__ = [
+    "KINDS",
+    "ProtocolError",
+    "QueryRequest",
+    "parse_request",
+    "result_payload",
+    "RequestCoalescer",
+    "MicroBatcher",
+    "QueueFullError",
+    "BatcherClosedError",
+    "QueryService",
+    "ServiceRejection",
+    "ServiceOverloadedError",
+    "ServiceDrainingError",
+    "QueryTimeoutError",
+    "ServeServer",
+    "make_server",
+    "ServeClient",
+    "ServeError",
+    "LatencyTracker",
+]

@@ -1,0 +1,188 @@
+"""Size-or-deadline micro-batching of queued work items.
+
+A single dispatcher thread sleeps until work arrives, then collects a
+batch: it dispatches as soon as ``batch_size`` items are queued, or when
+``batch_delay_s`` has elapsed since the *first* item of the forming
+batch arrived — whichever comes first.  Batching is what lets the warm
+process pool amortize dispatch overhead across concurrent requests
+while the deadline bounds how long a lone request can be held back
+(one ``batch_delay_s``, a few tens of milliseconds).
+
+Admission control lives at the mouth of the queue: :meth:`submit`
+raises :class:`QueueFullError` when ``max_queue`` items are already
+waiting — the caller sheds the request (HTTP 429) without it ever
+touching the backend — and :class:`BatcherClosedError` once the batcher
+is closing.  :meth:`close` with ``drain=True`` (the default) lets the
+dispatcher finish every queued item before the thread exits, which is
+the graceful-shutdown path.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from collections.abc import Callable, Sequence
+
+__all__ = ["BatcherClosedError", "MicroBatcher", "QueueFullError"]
+
+
+class QueueFullError(RuntimeError):
+    """The bounded request queue is full; the request was shed."""
+
+
+class BatcherClosedError(RuntimeError):
+    """The batcher is closed (or draining) and accepts no new work."""
+
+
+class MicroBatcher:
+    """Bounded queue drained in batches by a background dispatcher thread.
+
+    Parameters
+    ----------
+    dispatch:
+        ``dispatch(batch)`` called with 1..``batch_size`` items in arrival
+        order.  It runs on the dispatcher thread and must not raise — the
+        service wraps its dispatch in error handling that fails the
+        affected futures; as a last resort an escaped exception is
+        recorded in :attr:`dispatch_errors` and the loop continues.
+    batch_size:
+        Maximum items per dispatched batch (the size trigger).
+    batch_delay_s:
+        Maximum seconds a forming batch waits for company after its first
+        item arrives (the deadline trigger).
+    max_queue:
+        Bound on *waiting* items; ``submit`` beyond it sheds.
+    """
+
+    def __init__(
+        self,
+        dispatch: Callable[[Sequence[object]], None],
+        batch_size: int = 16,
+        batch_delay_s: float = 0.02,
+        max_queue: int = 256,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if batch_delay_s < 0:
+            raise ValueError(f"batch_delay_s must be >= 0, got {batch_delay_s}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        self._dispatch = dispatch
+        self.batch_size = batch_size
+        self.batch_delay_s = batch_delay_s
+        self.max_queue = max_queue
+
+        self._items: deque[object] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        self.shed = 0
+        self.batches = 0
+        self.items_dispatched = 0
+        self.max_batch = 0
+        self.dispatch_errors = 0
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-serve-batcher", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------ #
+    # producer side
+    # ------------------------------------------------------------------ #
+
+    def submit(self, item: object) -> None:
+        """Enqueue one item, or shed it when the queue is at capacity."""
+        with self._cond:
+            if self._closed:
+                raise BatcherClosedError("batcher is closed")
+            if len(self._items) >= self.max_queue:
+                self.shed += 1
+                raise QueueFullError(
+                    f"queue is full ({self.max_queue} waiting items)"
+                )
+            self._items.append(item)
+            self._cond.notify()
+
+    @property
+    def depth(self) -> int:
+        """Items currently waiting (excludes the batch being dispatched)."""
+        with self._cond:
+            return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    # ------------------------------------------------------------------ #
+    # dispatcher side
+    # ------------------------------------------------------------------ #
+
+    def _collect(self) -> list[object] | None:
+        """Block until a batch is ready; ``None`` means closed and drained."""
+        with self._cond:
+            while not self._items:
+                if self._closed:
+                    return None
+                self._cond.wait()
+            # First item of the forming batch is here; hold the batch open
+            # until it fills or its deadline passes.  Closing cuts the wait
+            # short so drain finishes promptly.
+            deadline = time.monotonic() + self.batch_delay_s
+            while len(self._items) < self.batch_size and not self._closed:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cond.wait(remaining)
+            take = min(self.batch_size, len(self._items))
+            return [self._items.popleft() for _ in range(take)]
+
+    def _loop(self) -> None:
+        while True:
+            batch = self._collect()
+            if batch is None:
+                return
+            self.batches += 1
+            self.items_dispatched += len(batch)
+            self.max_batch = max(self.max_batch, len(batch))
+            try:
+                self._dispatch(batch)
+            except Exception:
+                self.dispatch_errors += 1
+
+    # ------------------------------------------------------------------ #
+    # shutdown
+    # ------------------------------------------------------------------ #
+
+    def close(self, drain: bool = True) -> None:
+        """Stop accepting work and shut the dispatcher down (idempotent).
+
+        With ``drain=True`` every already-queued item is still dispatched
+        before the thread exits; with ``drain=False`` waiting items are
+        discarded (the service cancels their futures first).
+        """
+        with self._cond:
+            if not self._closed:
+                self._closed = True
+                if not drain:
+                    self._items.clear()
+            self._cond.notify_all()
+        if self._thread is not threading.current_thread():
+            self._thread.join()
+
+    def snapshot(self) -> dict:
+        """JSON-able counters for ``/stats``."""
+        with self._cond:
+            depth = len(self._items)
+        batches = self.batches
+        return {
+            "depth": depth,
+            "max_queue": self.max_queue,
+            "shed": self.shed,
+            "batches": batches,
+            "items_dispatched": self.items_dispatched,
+            "mean_batch": (self.items_dispatched / batches) if batches else 0.0,
+            "max_batch": self.max_batch,
+            "batch_size": self.batch_size,
+            "batch_delay_s": self.batch_delay_s,
+        }

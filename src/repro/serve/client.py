@@ -1,0 +1,121 @@
+"""Small stdlib client for the query service.
+
+:class:`ServeClient` wraps ``urllib.request`` with the service's JSON
+protocol: convenience builders per request kind, typed
+:class:`ServeError` failures carrying the HTTP status and any
+``Retry-After`` hint, and a readiness poll for scripts that just
+launched a server.  No third-party dependencies, so the client is
+importable anywhere the library is.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """An HTTP-level failure from the service.
+
+    Attributes
+    ----------
+    status:
+        HTTP status code (429 shed, 503 draining, 504 timeout, 400
+        malformed, ...).
+    payload:
+        Decoded JSON error body (``{}`` when undecodable).
+    retry_after_s:
+        Parsed ``Retry-After`` header, or ``None``.
+    """
+
+    def __init__(self, status: int, payload: dict, retry_after_s: float | None) -> None:
+        message = payload.get("error") if isinstance(payload, dict) else None
+        super().__init__(f"HTTP {status}: {message or 'request failed'}")
+        self.status = status
+        self.payload = payload if isinstance(payload, dict) else {}
+        self.retry_after_s = retry_after_s
+
+
+class ServeClient:
+    """Talks to one server (``base_url`` like ``http://127.0.0.1:8787``)."""
+
+    def __init__(self, base_url: str, timeout_s: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # -------------------------------------------------------------- #
+    # transport
+    # -------------------------------------------------------------- #
+
+    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        request = urllib.request.Request(
+            self.base_url + path,
+            method=method,
+            data=None if body is None else json.dumps(body).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            try:
+                payload = json.loads(error.read())
+            except (json.JSONDecodeError, OSError):
+                payload = {}
+            retry_after = error.headers.get("Retry-After")
+            raise ServeError(
+                error.code, payload,
+                float(retry_after) if retry_after else None,
+            ) from None
+
+    def query(self, body: dict) -> dict:
+        """POST one raw protocol request and return the response payload."""
+        return self._request("POST", "/v1/query", body)
+
+    # -------------------------------------------------------------- #
+    # per-kind convenience builders
+    # -------------------------------------------------------------- #
+
+    def loss(self, **fields: object) -> dict:
+        """Loss-rate query; keyword fields as in the protocol (hurst, ...)."""
+        return self.query({"kind": "loss", **fields})
+
+    def horizon(self, **fields: object) -> dict:
+        """Correlation-horizon query."""
+        return self.query({"kind": "horizon", **fields})
+
+    def dimension(self, **fields: object) -> dict:
+        """Effective-bandwidth dimensioning query."""
+        return self.query({"kind": "dimension", **fields})
+
+    # -------------------------------------------------------------- #
+    # introspection
+    # -------------------------------------------------------------- #
+
+    def healthz(self) -> dict:
+        """GET ``/healthz`` (raises :class:`ServeError` 503 while draining)."""
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        """GET ``/stats``."""
+        return self._request("GET", "/stats")
+
+    def wait_until_ready(self, timeout_s: float = 10.0, poll_s: float = 0.05) -> dict:
+        """Poll ``/healthz`` until the server answers ``ok`` or time runs out."""
+        deadline = time.monotonic() + timeout_s
+        last_error: Exception | None = None
+        while time.monotonic() < deadline:
+            try:
+                health = self.healthz()
+                if health.get("status") == "ok":
+                    return health
+            except (ServeError, urllib.error.URLError, OSError) as error:
+                last_error = error
+            time.sleep(poll_s)
+        raise TimeoutError(
+            f"server at {self.base_url} not ready within {timeout_s:g}s"
+        ) from last_error

@@ -1,0 +1,93 @@
+"""In-flight request coalescing keyed by content fingerprint.
+
+Identical concurrent queries describe the *same* computation (their
+``repro.core.fingerprint`` task keys are equal), so only the first —
+the *leader* — should ever reach the backend; every later arrival —
+a *follower* — attaches to the leader's future and receives the shared
+result.  The window closes when the computation resolves: after that,
+identical requests start a fresh leader, which the persistent solve
+cache then answers without solver work.
+
+The coalescer is deliberately dumb about *what* is being computed — it
+maps keys to futures and counts hits.  Deciding what the key means
+(:meth:`~repro.serve.protocol.QueryRequest.key`) and who runs the
+computation (:class:`~repro.serve.service.QueryService`) live elsewhere.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+
+__all__ = ["RequestCoalescer"]
+
+
+class RequestCoalescer:
+    """Maps in-flight computation keys to shared futures (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inflight: dict[str, Future] = {}
+        self.leaders = 0
+        self.hits = 0
+
+    def admit(self, key: str) -> tuple[Future, bool]:
+        """Join the in-flight computation for ``key``.
+
+        Returns ``(future, leader)``.  When ``leader`` is True the caller
+        owns the computation and must eventually call :meth:`resolve` or
+        :meth:`fail` (or :meth:`abandon` if it could not even start it);
+        otherwise the caller just waits on the shared future.
+        """
+        with self._lock:
+            future = self._inflight.get(key)
+            if future is not None:
+                self.hits += 1
+                return future, False
+            future = Future()
+            self._inflight[key] = future
+            self.leaders += 1
+            return future, True
+
+    def resolve(self, key: str, value: object) -> None:
+        """Complete ``key``: wake every waiter with ``value``, close the window."""
+        future = self._pop(key)
+        if future is not None and not future.done():
+            future.set_result(value)
+
+    def fail(self, key: str, error: BaseException) -> None:
+        """Complete ``key`` exceptionally: every waiter re-raises ``error``."""
+        future = self._pop(key)
+        if future is not None and not future.done():
+            future.set_exception(error)
+
+    def abandon(self, key: str) -> None:
+        """Forget ``key`` without completing its future.
+
+        For the narrow window where a leader was admitted but its work
+        could never be enqueued (e.g. the queue shed it): the leader
+        reports its own error, and followers that raced in during the
+        window get :class:`~concurrent.futures.CancelledError`.
+        """
+        future = self._pop(key)
+        if future is not None:
+            future.cancel()
+
+    def _pop(self, key: str) -> Future | None:
+        with self._lock:
+            return self._inflight.pop(key, None)
+
+    @property
+    def inflight(self) -> int:
+        """Number of distinct computations currently in flight."""
+        with self._lock:
+            return len(self._inflight)
+
+    def snapshot(self) -> dict:
+        """JSON-able counters for ``/stats``."""
+        with self._lock:
+            return {
+                "inflight": len(self._inflight),
+                "leaders": self.leaders,
+                "hits": self.hits,
+            }

@@ -1,0 +1,166 @@
+"""HTTP front-end for the query service (stdlib ``http.server`` only).
+
+Endpoints
+---------
+``POST /v1/query``
+    Body: one JSON request (see :mod:`repro.serve.protocol`).  Replies
+    200 with the response payload; 400 for malformed requests or model
+    parameters the solver rejects; 429/503 with a ``Retry-After`` header
+    when the service sheds or drains; 504 when the per-request timeout
+    expires.
+``GET /healthz``
+    Liveness: ``{"status": "ok" | "draining", ...}`` (503 when draining,
+    so load balancers stop routing during shutdown).
+``GET /stats``
+    Full service statistics: queue depth, coalesce hits, engine
+    cache/telemetry summary, batch sizes, per-stage latency percentiles.
+
+The server is a ``ThreadingHTTPServer`` — one thread per connection —
+which suits the service's blocking :meth:`~repro.serve.service.QueryService.query`
+call: handler threads park on the coalescer future while the single
+dispatcher thread feeds the engine.  :meth:`ServeServer.close` performs
+the graceful-drain sequence (stop accepting, finish in-flight, release
+the engine).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.serve.protocol import ProtocolError, parse_request
+from repro.serve.service import QueryService, ServiceRejection
+
+__all__ = ["ServeServer", "make_server"]
+
+_MAX_BODY_BYTES = 1 << 20  # 1 MiB is orders of magnitude beyond any valid query
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes the three endpoints onto the owning server's service."""
+
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> QueryService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: object) -> None:
+        if getattr(self.server, "verbose", False):  # pragma: no cover - debug aid
+            super().log_message(format, *args)
+
+    # -------------------------------------------------------------- #
+    # routing
+    # -------------------------------------------------------------- #
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/healthz":
+            health = self.service.health()
+            status = 200 if health["status"] == "ok" else 503
+            self._reply(status, health)
+        elif self.path == "/stats":
+            self._reply(200, self.service.stats())
+        else:
+            self._reply(404, {"ok": False, "error": f"unknown path {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path != "/v1/query":
+            self._reply(404, {"ok": False, "error": f"unknown path {self.path}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            self._reply(400, {"ok": False, "error": "bad Content-Length"})
+            return
+        if length <= 0 or length > _MAX_BODY_BYTES:
+            self._reply(400, {"ok": False, "error": "missing or oversized request body"})
+            return
+        body = self.rfile.read(length)
+        try:
+            request = parse_request(json.loads(body))
+        except json.JSONDecodeError as error:
+            self._reply(400, {"ok": False, "error": f"invalid JSON: {error}"})
+            return
+        except ProtocolError as error:
+            self._reply(400, {"ok": False, "error": str(error)})
+            return
+        try:
+            self._reply(200, self.service.query(request))
+        except ServiceRejection as error:
+            headers = {}
+            if error.retry_after_s is not None:
+                headers["Retry-After"] = str(max(1, round(error.retry_after_s)))
+            self._reply(error.status, {"ok": False, "error": str(error)}, headers)
+        except ValueError as error:
+            # Structurally valid JSON whose parameters the model rejects.
+            self._reply(400, {"ok": False, "error": str(error)})
+        except Exception as error:  # pragma: no cover - defensive
+            self._reply(500, {"ok": False, "error": f"internal error: {error}"})
+
+    def _reply(self, status: int, payload: dict, headers: dict | None = None) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+
+class ServeServer(ThreadingHTTPServer):
+    """Threading HTTP server bound to one :class:`QueryService`.
+
+    ``daemon_threads`` keeps a hung client connection from blocking
+    process exit; request *work* is still drained gracefully because
+    :meth:`close` quiesces the service before stopping the listener.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+    # http.server's default listen backlog of 5 resets bursty clients
+    # before admission control ever sees them; the service's bounded
+    # queue is the real limiter, so accept connections generously.
+    request_queue_size = 128
+
+    def __init__(self, address: tuple[str, int], service: QueryService) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+        self.verbose = False
+        self._serve_thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with the ``port=0`` pick-a-free-port idiom)."""
+        return self.server_address[1]
+
+    def start_background(self) -> "ServeServer":
+        """Run ``serve_forever`` on a daemon thread (tests, benchmarks)."""
+        if self._serve_thread is None:
+            self._serve_thread = threading.Thread(
+                target=self.serve_forever, name="repro-serve-http", daemon=True
+            )
+            self._serve_thread.start()
+        return self
+
+    def close(self, drain: bool = True) -> None:
+        """Graceful shutdown: drain the service, then stop the listener."""
+        self.service.close(drain=drain)
+        self.shutdown()
+        self.server_close()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=10.0)
+            self._serve_thread = None
+
+    def __enter__(self) -> "ServeServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def make_server(host: str, port: int, service: QueryService) -> ServeServer:
+    """Bind a :class:`ServeServer`; ``port=0`` picks a free port."""
+    return ServeServer((host, port), service)

@@ -1,0 +1,391 @@
+"""The query service: accept → coalesce → batch → engine → reply.
+
+:class:`QueryService` is the transport-independent core of the serving
+layer — the HTTP front-end (:mod:`repro.serve.httpd`) is a thin JSON
+shim over :meth:`QueryService.query`, and tests drive the service
+directly.  One request flows through four stations:
+
+1. **Admission.**  A draining service rejects immediately
+   (:class:`ServiceDrainingError` → 503); otherwise the request is
+   counted in flight.
+2. **Coalescing.**  The request's fingerprint key joins the in-flight
+   table.  Followers skip straight to waiting on the leader's future —
+   N identical concurrent requests cost exactly one solve.
+3. **Batching** (``loss`` only).  The leader enqueues a work item into
+   the bounded :class:`~repro.serve.batcher.MicroBatcher`; a full queue
+   sheds the request (:class:`ServiceOverloadedError` → 429 with
+   Retry-After) *before* it ever reaches the backend.  The dispatcher
+   drains size-or-deadline batches and runs each as a
+   :class:`~repro.exec.task.SweepPlan` through the shared
+   :class:`~repro.exec.engine.SweepEngine` — which consults the
+   persistent solve cache first, so repeat queries after the coalescing
+   window closes cost no solver work either.
+4. **Reply.**  Every waiter observes the shared result (or the shared
+   error), bounded by its per-request timeout
+   (:class:`QueryTimeoutError` → 504).
+
+``horizon`` requests are closed-form and answered inline; ``dimension``
+requests (a bisection of solves) run in the leader's own thread, still
+deduplicated by the coalescer.  :meth:`close` drains: new work is
+rejected, in-flight work completes, then the batcher and (optionally)
+the engine shut down.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import CancelledError
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.horizon import correlation_horizon, norros_horizon
+from repro.core.results import LossRateResult
+from repro.exec.engine import SweepEngine
+from repro.exec.task import SolveTask, SweepPlan
+from repro.serve.batcher import BatcherClosedError, MicroBatcher, QueueFullError
+from repro.serve.coalescer import RequestCoalescer
+from repro.serve.protocol import QueryRequest, result_payload
+from repro.serve.stats import LatencyTracker
+
+__all__ = [
+    "QueryService",
+    "QueryTimeoutError",
+    "ServiceDrainingError",
+    "ServiceOverloadedError",
+    "ServiceRejection",
+]
+
+
+class ServiceRejection(RuntimeError):
+    """Base of the service's load-control refusals.
+
+    Attributes carry what the HTTP layer needs: ``status`` is the
+    response code, ``retry_after_s`` (when set) becomes a ``Retry-After``
+    header.
+    """
+
+    status = 503
+    retry_after_s: float | None = None
+
+    def __init__(self, message: str, retry_after_s: float | None = None) -> None:
+        super().__init__(message)
+        if retry_after_s is not None:
+            self.retry_after_s = retry_after_s
+
+
+class ServiceOverloadedError(ServiceRejection):
+    """The bounded queue shed this request (HTTP 429)."""
+
+    status = 429
+    retry_after_s = 1.0
+
+
+class ServiceDrainingError(ServiceRejection):
+    """The service is draining/closed and accepts no new work (HTTP 503)."""
+
+    status = 503
+    retry_after_s = 5.0
+
+
+class QueryTimeoutError(ServiceRejection):
+    """The per-request timeout expired while waiting for the result (HTTP 504)."""
+
+    status = 504
+    retry_after_s = None
+
+
+@dataclass
+class _Pending:
+    """One queued ``loss`` computation (the leader's work item)."""
+
+    key: str
+    task: SolveTask
+    enqueued_at: float
+
+
+class QueryService:
+    """Coalescing, micro-batching loss-rate query service over one engine.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`~repro.exec.engine.SweepEngine` every batch runs
+        through.  Only the dispatcher thread touches it, so any backend
+        (serial or warm process pool) works unmodified.
+    batch_size, batch_delay_s, max_queue:
+        Micro-batcher knobs (see :class:`~repro.serve.batcher.MicroBatcher`).
+    default_timeout_s:
+        Wait bound applied when a request carries no ``timeout_s``.
+    retry_after_s:
+        Advisory client back-off attached to 429 shedding responses.
+    own_engine:
+        When True (default) :meth:`close` also closes the engine.
+    """
+
+    def __init__(
+        self,
+        engine: SweepEngine | None = None,
+        *,
+        batch_size: int = 16,
+        batch_delay_s: float = 0.02,
+        max_queue: int = 256,
+        default_timeout_s: float = 30.0,
+        retry_after_s: float = 1.0,
+        own_engine: bool = True,
+    ) -> None:
+        if default_timeout_s <= 0:
+            raise ValueError(f"default_timeout_s must be > 0, got {default_timeout_s}")
+        self.engine = engine if engine is not None else SweepEngine()
+        self.default_timeout_s = default_timeout_s
+        self.retry_after_s = retry_after_s
+        self._own_engine = own_engine
+        self.coalescer = RequestCoalescer()
+        self.batcher = MicroBatcher(
+            self._dispatch,
+            batch_size=batch_size,
+            batch_delay_s=batch_delay_s,
+            max_queue=max_queue,
+        )
+        self.queue_latency = LatencyTracker()
+        self.solve_latency = LatencyTracker()
+        self.total_latency = LatencyTracker()
+
+        self._state = threading.Condition()
+        self._inflight = 0
+        self._draining = False
+        self._started_at = time.monotonic()
+        self.accepted = 0
+        self.completed = 0
+        self.timeouts = 0
+        self.errors = 0
+
+    # ------------------------------------------------------------------ #
+    # request path
+    # ------------------------------------------------------------------ #
+
+    def query(self, request: QueryRequest) -> dict:
+        """Answer one request; returns the JSON-able response payload.
+
+        Raises a :class:`ServiceRejection` subclass for load-control
+        refusals and :class:`ValueError` for requests whose parameters
+        the model itself rejects.
+        """
+        start = time.perf_counter()
+        self._enter()
+        try:
+            if request.kind == "horizon":
+                payload = {"result": self._horizon(request), "coalesced": False}
+            else:
+                payload = self._coalesced_query(request)
+            elapsed = time.perf_counter() - start
+            self.total_latency.record(elapsed)
+            with self._state:
+                self.completed += 1
+            return {
+                "ok": True,
+                "kind": request.kind,
+                "elapsed_s": elapsed,
+                **payload,
+            }
+        except ServiceRejection:
+            raise
+        except Exception:
+            with self._state:
+                self.errors += 1
+            raise
+        finally:
+            self._exit()
+
+    def _coalesced_query(self, request: QueryRequest) -> dict:
+        key = request.key()
+        future, leader = self.coalescer.admit(key)
+        if leader:
+            if request.kind == "loss":
+                item = _Pending(key, request.task(), time.perf_counter())
+                try:
+                    self.batcher.submit(item)
+                except QueueFullError as error:
+                    self.coalescer.abandon(key)
+                    raise ServiceOverloadedError(
+                        str(error), retry_after_s=self.retry_after_s
+                    ) from None
+                except BatcherClosedError:
+                    self.coalescer.abandon(key)
+                    raise ServiceDrainingError("service is draining") from None
+            else:  # dimension: bisection of solves, run in the leader's thread
+                try:
+                    self.coalescer.resolve(key, self._dimension(request))
+                except Exception as error:  # waiters share the failure too
+                    self.coalescer.fail(key, error)
+
+        timeout = request.timeout_s if request.timeout_s is not None else self.default_timeout_s
+        try:
+            value = future.result(timeout)
+        except FutureTimeoutError:
+            with self._state:
+                self.timeouts += 1
+            raise QueryTimeoutError(
+                f"result not ready within {timeout:g}s (computation continues; retry)"
+            ) from None
+        except CancelledError:
+            # Raced a leader whose enqueue was shed before this follower attached.
+            raise ServiceOverloadedError(
+                "request was shed while queueing", retry_after_s=self.retry_after_s
+            ) from None
+        if isinstance(value, LossRateResult):
+            value = result_payload(value)
+        return {"result": value, "coalesced": not leader, "key": key[:16]}
+
+    # ------------------------------------------------------------------ #
+    # computations
+    # ------------------------------------------------------------------ #
+
+    def _dispatch(self, batch: list[_Pending]) -> None:
+        """Dispatcher-thread entry: run one micro-batch through the engine."""
+        started = time.perf_counter()
+        for item in batch:
+            self.queue_latency.record(started - item.enqueued_at)
+        plan = SweepPlan(
+            row_label="batch",
+            col_label="request",
+            rows=np.zeros(1),
+            cols=np.arange(len(batch), dtype=np.float64),
+            tasks=tuple(item.task for item in batch),
+            meta={"kind": "serve_batch"},
+        )
+        try:
+            results = self.engine.run_tasks(plan.tasks)
+        except Exception as error:
+            for item in batch:
+                self.coalescer.fail(item.key, error)
+            return
+        seconds = time.perf_counter() - started
+        for item, result in zip(batch, results):
+            self.solve_latency.record(seconds)
+            self.coalescer.resolve(item.key, result)
+
+    def _horizon(self, request: QueryRequest) -> dict:
+        source = request.source()
+        service_rate = source.mean_rate / request.utilization
+        buffer_size = request.buffer * service_rate
+        return {
+            "eq26_horizon_s": correlation_horizon(
+                source, buffer_size,
+                no_reset_probability=request.no_reset_probability,
+            ),
+            "norros_horizon_s": norros_horizon(source, service_rate, buffer_size),
+        }
+
+    def _dimension(self, request: QueryRequest) -> dict:
+        from repro.queueing.dimensioning import required_service_rate
+
+        source = request.source()
+        bandwidth = required_service_rate(
+            source, request.buffer, request.target_loss, config=request.config()
+        )
+        return {
+            "mean_rate": source.mean_rate,
+            "peak_rate": source.marginal.peak,
+            "effective_bandwidth": bandwidth,
+            "achievable_utilization": source.mean_rate / bandwidth,
+        }
+
+    # ------------------------------------------------------------------ #
+    # lifecycle and introspection
+    # ------------------------------------------------------------------ #
+
+    def _enter(self) -> None:
+        with self._state:
+            if self._draining:
+                raise ServiceDrainingError("service is draining")
+            self._inflight += 1
+            self.accepted += 1
+
+    def _exit(self) -> None:
+        with self._state:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._state.notify_all()
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently being served (queued, solving, or replying)."""
+        with self._state:
+            return self._inflight
+
+    @property
+    def draining(self) -> bool:
+        with self._state:
+            return self._draining
+
+    def close(self, drain: bool = True, timeout_s: float = 30.0) -> None:
+        """Stop accepting requests and shut down (idempotent).
+
+        With ``drain=True`` (default) every in-flight request is allowed
+        to finish — waiting up to ``timeout_s`` — before the batcher and
+        the engine are released; ``drain=False`` cancels queued work.
+        """
+        with self._state:
+            already = self._draining
+            self._draining = True
+            if drain and not already:
+                deadline = time.monotonic() + timeout_s
+                while self._inflight > 0:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._state.wait(remaining)
+        self.batcher.close(drain=drain)
+        if self._own_engine and not already:
+            self.engine.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def health(self) -> dict:
+        """Liveness payload for ``/healthz``."""
+        with self._state:
+            status = "draining" if self._draining else "ok"
+            inflight = self._inflight
+        return {
+            "status": status,
+            "inflight": inflight,
+            "queue_depth": self.batcher.depth,
+            "uptime_s": time.monotonic() - self._started_at,
+        }
+
+    def stats(self) -> dict:
+        """Full ``/stats`` snapshot (counters, queue, coalescer, engine, latency)."""
+        with self._state:
+            counters = {
+                "accepted": self.accepted,
+                "completed": self.completed,
+                "inflight": self._inflight,
+                "timeouts": self.timeouts,
+                "errors": self.errors,
+                "draining": self._draining,
+                "uptime_s": time.monotonic() - self._started_at,
+            }
+        cache = self.engine.cache
+        return {
+            **counters,
+            "queue": self.batcher.snapshot(),
+            "coalesce": self.coalescer.snapshot(),
+            "engine": self.engine.telemetry.summary(),
+            "cache": None if cache is None else {
+                "entries": len(cache),
+                "hits": cache.hits,
+                "misses": cache.misses,
+            },
+            "latency_s": {
+                "queue": self.queue_latency.snapshot(),
+                "solve": self.solve_latency.snapshot(),
+                "total": self.total_latency.snapshot(),
+            },
+        }

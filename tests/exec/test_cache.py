@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import json
+import threading
+
 import pytest
 
 from repro.core.results import LossRateResult
@@ -78,3 +81,98 @@ class TestSolveCache:
         assert len(cache) == 0
         assert not cache.path.exists()
         assert SolveCache(tmp_path).get("k1") is None
+
+
+class TestConcurrentWriters:
+    def test_truncated_trailing_line_is_tolerated_and_repaired(self, tmp_path):
+        cache = SolveCache(tmp_path)
+        cache.put("k1", RESULT)
+        with cache.path.open("a") as handle:
+            handle.write('{"key": "k2", "lower": 0.1')  # writer died mid-record
+        # Loading skips the damage instead of raising.
+        reopened = SolveCache(tmp_path)
+        assert len(reopened) == 1
+        # The next append confines the damage to its own line.
+        reopened.put("k3", RESULT)
+        final = SolveCache(tmp_path)
+        assert "k1" in final and "k3" in final
+        assert "k2" not in final
+
+    def test_interleaved_instances_lose_no_records(self, tmp_path):
+        """Two handles to one file (as two server workers would hold)."""
+        writers = [SolveCache(tmp_path) for _ in range(2)]
+        errors: list[Exception] = []
+
+        def append(writer: SolveCache, offset: int) -> None:
+            try:
+                for i in range(50):
+                    writer.put(f"w{offset}-{i}", RESULT)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=append, args=(writer, n))
+            for n, writer in enumerate(writers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        merged = SolveCache(tmp_path)
+        assert len(merged) == 100
+        # Every line in the file is intact JSON.
+        for line in merged.path.read_text().strip().splitlines():
+            assert json.loads(line)["key"].startswith("w")
+
+
+class TestCompact:
+    def _duplicate_lines(self, cache: SolveCache, key: str, times: int) -> None:
+        record = json.dumps({
+            "key": key, "lower": RESULT.lower, "upper": RESULT.upper,
+            "iterations": RESULT.iterations, "bins": RESULT.bins,
+            "converged": RESULT.converged, "negligible": RESULT.negligible,
+        })
+        with cache.path.open("a") as handle:
+            for _ in range(times):
+                handle.write(record + "\n")
+
+    def test_compact_keeps_one_record_per_key(self, tmp_path):
+        cache = SolveCache(tmp_path)
+        cache.put("k1", RESULT)
+        cache.put("k2", RESULT)
+        self._duplicate_lines(cache, "k1", 5)
+        before, after = cache.compact()
+        assert (before, after) == (7, 2)
+        reopened = SolveCache(tmp_path)
+        assert len(reopened) == 2
+        assert reopened.get("k1") == RESULT
+
+    def test_compact_empty_cache(self, tmp_path):
+        cache = SolveCache(tmp_path)
+        assert cache.compact() == (0, 0)
+        cache.put("k1", RESULT)
+        cache.clear()
+        assert cache.compact() == (0, 0)
+        assert not cache.path.exists()
+
+    def test_compact_drops_corrupt_lines(self, tmp_path):
+        cache = SolveCache(tmp_path)
+        cache.put("k1", RESULT)
+        with cache.path.open("a") as handle:
+            handle.write("{broken\n")
+        before, after = cache.compact()
+        assert (before, after) == (2, 1)
+
+    def test_file_stats(self, tmp_path):
+        cache = SolveCache(tmp_path)
+        stats = cache.file_stats()
+        assert stats["entries"] == 0
+        assert stats["file_bytes"] == 0
+        cache.put("k1", RESULT)
+        self._duplicate_lines(cache, "k1", 2)
+        stats = SolveCache(tmp_path).file_stats()
+        assert stats["entries"] == 1
+        assert stats["file_lines"] == 3
+        assert stats["stale_lines"] == 2
+        assert stats["file_bytes"] > 0

@@ -152,6 +152,38 @@ class TestEngineLifecycle:
         engine.solve(SolveTask(small_source, 0.85, 0.1, FAST))
         engine.close()
 
+    def test_double_close_is_a_noop(self):
+        class CountingBackend(SerialBackend):
+            close_calls = 0
+
+            def close(self):
+                self.close_calls += 1
+
+        backend = CountingBackend()
+        engine = SweepEngine(backend=backend)
+        assert not engine.closed
+        engine.close()
+        engine.close()
+        assert engine.closed
+        assert backend.close_calls == 1
+
+    def test_run_after_close_raises_a_clear_error(self, small_source):
+        engine = SweepEngine()
+        engine.close()
+        task = SolveTask(small_source, 0.85, 0.1, FAST)
+        with pytest.raises(RuntimeError, match="closed"):
+            engine.run_tasks([task])
+        with pytest.raises(RuntimeError, match="closed"):
+            engine.solve(task)
+        with pytest.raises(RuntimeError, match="closed"):
+            engine.run_grid(_plan(small_source))
+
+    def test_context_manager_exit_then_run_raises(self, small_source):
+        with SweepEngine() as engine:
+            engine.solve(SolveTask(small_source, 0.85, 0.1, FAST))
+        with pytest.raises(RuntimeError, match="closed"):
+            engine.solve(SolveTask(small_source, 0.85, 0.1, FAST))
+
 
 class TestTelemetryAndProgress:
     def test_progress_callback_sees_every_cell(self, small_source):

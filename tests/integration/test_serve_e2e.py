@@ -1,0 +1,84 @@
+"""End-to-end: HTTP serving over a warm process pool with a shared cache.
+
+The acceptance scenario for the serving layer: a 4-worker pool, 100
+concurrent requests spread over 10 distinct tasks, and the ``/stats``
+endpoint proving that coalescing plus the persistent cache held backend
+work to exactly 10 solves.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.exec import ProcessPoolBackend, SolveCache, SweepEngine
+from repro.serve import QueryService, ServeClient, make_server
+
+QUICK = {"hurst": 0.7, "cutoff": 2.0, "initial_bins": 32, "max_bins": 64,
+         "relative_gap": 0.5}
+DISTINCT_TASKS = 10
+TOTAL_REQUESTS = 100
+
+
+def test_hundred_concurrent_requests_ten_backend_solves(tmp_path):
+    engine = SweepEngine(
+        backend=ProcessPoolBackend(jobs=4),
+        cache=SolveCache(tmp_path / "serve-cache"),
+    )
+    service = QueryService(engine, batch_size=8, batch_delay_s=0.01, max_queue=512)
+    server = make_server("127.0.0.1", 0, service).start_background()
+    client = ServeClient(f"http://127.0.0.1:{server.port}", timeout_s=120.0)
+    try:
+        client.wait_until_ready(timeout_s=10.0)
+
+        def ask(i: int) -> dict:
+            # 100 requests cycling over 10 distinct buffers.
+            buffer = 0.30 + 0.02 * (i % DISTINCT_TASKS)
+            return client.loss(buffer=buffer, **QUICK)
+
+        with ThreadPoolExecutor(max_workers=32) as pool:
+            responses = list(pool.map(ask, range(TOTAL_REQUESTS)))
+
+        assert len(responses) == TOTAL_REQUESTS
+        assert all(r["ok"] for r in responses)
+        estimates = {r["result"]["estimate"] for r in responses}
+        assert len(estimates) == DISTINCT_TASKS  # one shared answer per task
+
+        stats = client.stats()
+        # Exactly ten cells ever reached the backend: every other request
+        # was coalesced onto an in-flight solve or answered by the cache.
+        assert stats["engine"]["cache_misses"] == DISTINCT_TASKS
+        coalesced = stats["coalesce"]["hits"]
+        cached = int(stats["engine"]["cache_hits"])
+        assert coalesced + cached == TOTAL_REQUESTS - DISTINCT_TASKS
+        assert stats["completed"] == TOTAL_REQUESTS
+        assert stats["errors"] == 0
+        assert stats["timeouts"] == 0
+        assert stats["cache"]["entries"] == DISTINCT_TASKS
+    finally:
+        server.close()  # graceful drain
+
+    # The cache file survives the server for the next process.
+    reopened = SolveCache(tmp_path / "serve-cache")
+    assert len(reopened) == DISTINCT_TASKS
+
+
+def test_identical_results_across_serving_and_direct_solve(tmp_path):
+    """What the service returns is exactly what the library computes."""
+    from repro.serve.protocol import parse_request
+
+    request = parse_request({"kind": "loss", "buffer": 0.3, **QUICK})
+    direct = request.task().run()
+
+    engine = SweepEngine(cache=SolveCache(tmp_path / "verify-cache"))
+    service = QueryService(engine, batch_size=2, batch_delay_s=0.005)
+    server = make_server("127.0.0.1", 0, service).start_background()
+    client = ServeClient(f"http://127.0.0.1:{server.port}")
+    try:
+        client.wait_until_ready(timeout_s=10.0)
+        served = client.loss(buffer=0.3, **QUICK)["result"]
+    finally:
+        server.close()
+
+    assert served["lower"] == direct.lower  # bit-exact through JSON
+    assert served["upper"] == direct.upper
+    assert served["iterations"] == direct.iterations

@@ -1,0 +1,169 @@
+"""Tests for size-or-deadline micro-batching and queue admission."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.serve.batcher import BatcherClosedError, MicroBatcher, QueueFullError
+
+
+class _Collector:
+    """Records dispatched batches; optionally blocks inside dispatch."""
+
+    def __init__(self, gate: threading.Event | None = None) -> None:
+        self.batches: list[list[object]] = []
+        self.gate = gate
+        self.event = threading.Event()
+
+    def __call__(self, batch: list[object]) -> None:
+        if self.gate is not None:
+            self.gate.wait(timeout=10)
+        self.batches.append(list(batch))
+        self.event.set()
+
+    def wait_for_batches(self, n: int, timeout: float = 5.0) -> None:
+        deadline = time.monotonic() + timeout
+        while len(self.batches) < n:
+            if time.monotonic() > deadline:
+                raise AssertionError(f"saw {len(self.batches)} batches, wanted {n}")
+            time.sleep(0.002)
+
+
+class TestTriggers:
+    def test_size_trigger_dispatches_a_full_batch(self):
+        collector = _Collector()
+        batcher = MicroBatcher(collector, batch_size=4, batch_delay_s=5.0, max_queue=16)
+        try:
+            for item in range(4):
+                batcher.submit(item)
+            collector.wait_for_batches(1)
+            # Dispatched by size, long before the 5 s deadline.
+            assert collector.batches[0] == [0, 1, 2, 3]
+        finally:
+            batcher.close()
+
+    def test_deadline_trigger_fires_on_a_half_full_batch(self):
+        collector = _Collector()
+        batcher = MicroBatcher(collector, batch_size=8, batch_delay_s=0.05, max_queue=16)
+        try:
+            start = time.monotonic()
+            for item in range(4):  # half of batch_size
+                batcher.submit(item)
+            collector.wait_for_batches(1)
+            elapsed = time.monotonic() - start
+            assert collector.batches[0] == [0, 1, 2, 3]
+            assert elapsed < 2.0  # deadline, not starvation
+        finally:
+            batcher.close()
+
+    def test_arrival_order_is_preserved_across_batches(self):
+        collector = _Collector()
+        batcher = MicroBatcher(collector, batch_size=3, batch_delay_s=0.01, max_queue=64)
+        try:
+            for item in range(10):
+                batcher.submit(item)
+            deadline = time.monotonic() + 5
+            while sum(len(b) for b in collector.batches) < 10:
+                assert time.monotonic() < deadline
+                time.sleep(0.002)
+            flat = [item for batch in collector.batches for item in batch]
+            assert flat == list(range(10))
+            assert max(len(b) for b in collector.batches) <= 3
+        finally:
+            batcher.close()
+
+
+class TestAdmission:
+    def test_sheds_when_the_queue_is_full(self):
+        gate = threading.Event()
+        collector = _Collector(gate)
+        batcher = MicroBatcher(collector, batch_size=1, batch_delay_s=0.0, max_queue=2)
+        try:
+            batcher.submit("a")  # picked up by the dispatcher, blocks on gate
+            deadline = time.monotonic() + 5
+            while batcher.depth > 0:  # wait for the dispatcher to take "a"
+                assert time.monotonic() < deadline
+                time.sleep(0.002)
+            batcher.submit("b")
+            batcher.submit("c")
+            with pytest.raises(QueueFullError):
+                batcher.submit("d")
+            assert batcher.shed == 1
+        finally:
+            gate.set()
+            batcher.close()
+        # The shed item never reached dispatch.
+        flat = [item for batch in collector.batches for item in batch]
+        assert "d" not in flat
+        assert flat == ["a", "b", "c"]
+
+    def test_closed_batcher_rejects_submissions(self):
+        batcher = MicroBatcher(lambda batch: None, batch_size=2)
+        batcher.close()
+        with pytest.raises(BatcherClosedError):
+            batcher.submit("x")
+
+    def test_constructor_validation(self):
+        for kwargs in ({"batch_size": 0}, {"batch_delay_s": -1}, {"max_queue": 0}):
+            with pytest.raises(ValueError):
+                MicroBatcher(lambda batch: None, **kwargs)
+
+
+class TestShutdown:
+    def test_drain_dispatches_queued_items(self):
+        gate = threading.Event()
+        collector = _Collector(gate)
+        batcher = MicroBatcher(collector, batch_size=2, batch_delay_s=0.0, max_queue=64)
+        for item in range(6):
+            batcher.submit(item)
+        gate.set()
+        batcher.close(drain=True)
+        flat = [item for batch in collector.batches for item in batch]
+        assert flat == list(range(6))
+
+    def test_close_without_drain_discards_waiting_items(self):
+        gate = threading.Event()
+        collector = _Collector(gate)
+        batcher = MicroBatcher(collector, batch_size=1, batch_delay_s=0.0, max_queue=64)
+        batcher.submit("taken")
+        deadline = time.monotonic() + 5
+        while batcher.depth > 0:
+            assert time.monotonic() < deadline
+            time.sleep(0.002)
+        batcher.submit("dropped")
+        gate.set()
+        batcher.close(drain=False)
+        flat = [item for batch in collector.batches for item in batch]
+        assert "dropped" not in flat
+
+    def test_close_is_idempotent(self):
+        batcher = MicroBatcher(lambda batch: None)
+        batcher.close()
+        batcher.close()
+        assert batcher.closed
+
+    def test_dispatch_errors_do_not_kill_the_loop(self):
+        def explode(batch):
+            raise RuntimeError("boom")
+
+        batcher = MicroBatcher(explode, batch_size=1, batch_delay_s=0.0)
+        batcher.submit("a")
+        batcher.submit("b")
+        batcher.close(drain=True)
+        assert batcher.dispatch_errors == 2
+        assert batcher.items_dispatched == 2
+
+    def test_snapshot_counts(self):
+        collector = _Collector()
+        batcher = MicroBatcher(collector, batch_size=2, batch_delay_s=0.01)
+        for item in range(4):
+            batcher.submit(item)
+        batcher.close(drain=True)
+        snap = batcher.snapshot()
+        assert snap["items_dispatched"] == 4
+        assert snap["depth"] == 0
+        assert snap["batches"] >= 2
+        assert snap["max_batch"] <= 2

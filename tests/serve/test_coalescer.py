@@ -1,0 +1,94 @@
+"""Tests for in-flight request coalescing."""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import CancelledError
+
+import pytest
+
+from repro.serve.coalescer import RequestCoalescer
+
+
+class TestAdmit:
+    def test_first_arrival_leads(self):
+        coalescer = RequestCoalescer()
+        future, leader = coalescer.admit("k")
+        assert leader is True
+        assert coalescer.inflight == 1
+        assert coalescer.leaders == 1
+        assert coalescer.hits == 0
+
+    def test_followers_share_the_leaders_future(self):
+        coalescer = RequestCoalescer()
+        leader_future, _ = coalescer.admit("k")
+        follower_future, leader = coalescer.admit("k")
+        assert leader is False
+        assert follower_future is leader_future
+        assert coalescer.hits == 1
+
+    def test_distinct_keys_do_not_coalesce(self):
+        coalescer = RequestCoalescer()
+        _, first = coalescer.admit("a")
+        _, second = coalescer.admit("b")
+        assert first and second
+        assert coalescer.inflight == 2
+        assert coalescer.hits == 0
+
+
+class TestCompletion:
+    def test_resolve_wakes_every_waiter_and_closes_the_window(self):
+        coalescer = RequestCoalescer()
+        future, _ = coalescer.admit("k")
+        coalescer.admit("k")
+        coalescer.resolve("k", 42)
+        assert future.result(timeout=1) == 42
+        assert coalescer.inflight == 0
+        # The window is closed: a new identical request leads again.
+        _, leader = coalescer.admit("k")
+        assert leader is True
+
+    def test_fail_propagates_to_all_waiters(self):
+        coalescer = RequestCoalescer()
+        future, _ = coalescer.admit("k")
+        coalescer.fail("k", ValueError("boom"))
+        with pytest.raises(ValueError, match="boom"):
+            future.result(timeout=1)
+        assert coalescer.inflight == 0
+
+    def test_completing_unknown_keys_is_a_noop(self):
+        coalescer = RequestCoalescer()
+        coalescer.resolve("ghost", 1)
+        coalescer.fail("ghost", RuntimeError())
+        coalescer.abandon("ghost")
+
+    def test_abandon_cancels_raced_followers(self):
+        coalescer = RequestCoalescer()
+        future, _ = coalescer.admit("k")
+        coalescer.abandon("k")
+        with pytest.raises(CancelledError):
+            future.result(timeout=1)
+        assert coalescer.inflight == 0
+
+
+class TestContention:
+    def test_many_threads_one_leader(self):
+        coalescer = RequestCoalescer()
+        outcomes: list[bool] = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(16)
+
+        def contend() -> None:
+            barrier.wait()
+            _, leader = coalescer.admit("hot-key")
+            with lock:
+                outcomes.append(leader)
+
+        threads = [threading.Thread(target=contend) for _ in range(16)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sum(outcomes) == 1  # exactly one leader
+        assert coalescer.hits == 15
+        assert coalescer.snapshot() == {"inflight": 1, "leaders": 1, "hits": 15}

@@ -1,0 +1,152 @@
+"""Tests for the query-service request protocol and latency tracker."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.serve.protocol import ProtocolError, parse_request, result_payload
+from repro.serve.stats import LatencyTracker
+
+
+class TestParseRequest:
+    def test_minimal_loss_request_gets_defaults(self):
+        request = parse_request({"kind": "loss"})
+        assert request.kind == "loss"
+        assert request.hurst == 0.8
+        assert request.utilization == 0.8
+        assert request.cutoff == math.inf
+        assert request.timeout_s is None
+
+    def test_rejects_non_object_bodies(self):
+        for body in ([1, 2], "loss", 3, None):
+            with pytest.raises(ProtocolError, match="JSON object"):
+                parse_request(body)
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ProtocolError, match="'kind'"):
+            parse_request({"kind": "solve"})
+
+    def test_rejects_unknown_fields(self):
+        with pytest.raises(ProtocolError, match="unknown field.*hurts"):
+            parse_request({"kind": "loss", "hurts": 0.8})
+
+    def test_kind_specific_fields_do_not_leak(self):
+        # target_loss belongs to dimension only.
+        with pytest.raises(ProtocolError, match="target_loss"):
+            parse_request({"kind": "loss", "target_loss": 1e-6})
+        assert parse_request(
+            {"kind": "dimension", "target_loss": 1e-3}
+        ).target_loss == 1e-3
+
+    def test_rejects_out_of_range_values(self):
+        for field, value in (
+            ("hurst", 0.5), ("hurst", 1.0), ("utilization", 0.0),
+            ("utilization", 1.5), ("buffer", 0.0), ("on_probability", 1.0),
+            ("mean_interval", -0.1), ("peak", 0.0),
+        ):
+            with pytest.raises(ProtocolError, match=field):
+                parse_request({"kind": "loss", field: value})
+
+    def test_rejects_non_numeric_values(self):
+        with pytest.raises(ProtocolError, match="must be a number"):
+            parse_request({"kind": "loss", "hurst": "0.8"})
+        with pytest.raises(ProtocolError, match="must be a number"):
+            parse_request({"kind": "loss", "hurst": True})
+
+    def test_solver_overrides(self):
+        request = parse_request(
+            {"kind": "loss", "initial_bins": 32, "max_bins": 64, "relative_gap": 0.5}
+        )
+        config = request.config()
+        assert config.initial_bins == 32
+        assert config.max_bins == 64
+        assert config.relative_gap == 0.5
+        assert parse_request({"kind": "loss"}).config() is None
+
+    def test_rejects_bad_solver_overrides(self):
+        with pytest.raises(ProtocolError, match="initial_bins"):
+            parse_request({"kind": "loss", "initial_bins": 1})
+        with pytest.raises(ProtocolError, match="initial_bins"):
+            parse_request({"kind": "loss", "initial_bins": 32.5})
+
+
+class TestRequestIdentity:
+    def test_loss_key_is_the_engine_cache_key(self):
+        request = parse_request({"kind": "loss", "hurst": 0.7, "cutoff": 2.0})
+        assert request.key() == request.task().cache_key()
+
+    def test_identical_requests_share_a_key(self):
+        a = parse_request({"kind": "loss", "hurst": 0.7})
+        b = parse_request({"kind": "loss", "hurst": 0.7})
+        assert a.key() == b.key()
+
+    def test_different_parameters_differ(self):
+        base = parse_request({"kind": "loss", "hurst": 0.7})
+        other = parse_request({"kind": "loss", "hurst": 0.75})
+        assert base.key() != other.key()
+
+    def test_kinds_never_collide(self):
+        keys = {
+            parse_request({"kind": kind}).key()
+            for kind in ("loss", "horizon", "dimension")
+        }
+        assert len(keys) == 3
+
+    def test_timeout_does_not_change_identity(self):
+        a = parse_request({"kind": "loss", "timeout_s": 1.0})
+        b = parse_request({"kind": "loss", "timeout_s": 9.0})
+        assert a.key() == b.key()
+
+    def test_non_loss_kinds_reject_task(self):
+        with pytest.raises(ValueError, match="loss"):
+            parse_request({"kind": "horizon"}).task()
+
+
+class TestResultPayload:
+    def test_round_trips_the_result_fields(self):
+        request = parse_request(
+            {"kind": "loss", "hurst": 0.7, "cutoff": 2.0, "buffer": 0.3,
+             "initial_bins": 32, "max_bins": 64, "relative_gap": 0.5}
+        )
+        result = request.task().run()
+        payload = result_payload(result)
+        assert payload["lower"] == result.lower
+        assert payload["upper"] == result.upper
+        assert payload["estimate"] == result.estimate
+        assert payload["converged"] is True
+
+
+class TestLatencyTracker:
+    def test_empty_tracker_reports_zero(self):
+        tracker = LatencyTracker()
+        assert tracker.count == 0
+        assert tracker.percentile(0.99) == 0.0
+        assert tracker.snapshot()["p50_s"] == 0.0
+
+    def test_percentiles_are_nearest_rank(self):
+        tracker = LatencyTracker()
+        for value in range(1, 101):  # 0.01 .. 1.00
+            tracker.record(value / 100.0)
+        assert tracker.percentile(0.50) == pytest.approx(0.50)
+        assert tracker.percentile(0.99) == pytest.approx(0.99)
+        assert tracker.percentile(1.00) == pytest.approx(1.00)
+
+    def test_window_bounds_memory_but_not_count(self):
+        tracker = LatencyTracker(window=8)
+        for _ in range(100):
+            tracker.record(1.0)
+        assert tracker.count == 100
+        assert len(tracker._samples) == 8
+
+    def test_negative_durations_clamp_to_zero(self):
+        tracker = LatencyTracker()
+        tracker.record(-1.0)
+        assert tracker.percentile(0.5) == 0.0
+
+    def test_rejects_bad_levels(self):
+        with pytest.raises(ValueError):
+            LatencyTracker().percentile(0.0)
+        with pytest.raises(ValueError):
+            LatencyTracker(window=0)

@@ -42,6 +42,32 @@ class TestParser:
         assert args.no_cache is True
         assert args.cache_dir == "/tmp/c"
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8787
+        assert args.batch_size == 16
+        assert args.batch_delay == 0.02
+        assert args.max_queue == 256
+        assert args.timeout == 30.0
+        assert args.jobs == 1
+
+    def test_serve_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--jobs", "4", "--batch-size", "8",
+             "--batch-delay", "0.05", "--max-queue", "64", "--timeout", "5"]
+        )
+        assert args.port == 0
+        assert args.jobs == 4
+        assert args.batch_size == 8
+        assert args.max_queue == 64
+
+    def test_cache_actions_are_exclusive(self):
+        args = build_parser().parse_args(["cache", "--stats"])
+        assert args.stats and not args.compact
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "--stats", "--compact"])
+
 
 class TestCommands:
     def test_solve_prints_result(self, capsys):
@@ -135,3 +161,38 @@ class TestCommands:
         )
         assert code == 0
         assert "Multiplexing gain" in capsys.readouterr().out
+
+    def test_cache_stats_on_populated_cache(self, capsys, tmp_path):
+        assert main(["solve", "--hurst", "0.7", "--cutoff", "2.0", "--buffer", "0.3",
+                     "--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "--stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Solve cache" in out
+        assert "entries" in out
+        assert "stale_lines" in out
+
+    def test_cache_default_action_is_stats(self, capsys, tmp_path):
+        assert main(["cache", "--cache-dir", str(tmp_path)]) == 0
+        assert "entries" in capsys.readouterr().out
+
+    def test_cache_compact(self, capsys, tmp_path):
+        from repro.core.results import LossRateResult
+        from repro.exec import SolveCache
+
+        cache = SolveCache(tmp_path)
+        result = LossRateResult(lower=0.1, upper=0.2, iterations=8, bins=32,
+                                converged=True, negligible=False)
+        cache.put("k1", result)
+        line = cache.path.read_text()
+        cache.path.write_text(line * 4)  # three stale duplicates
+        assert main(["cache", "--compact", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "4 -> 1 lines" in out
+        assert len(SolveCache(tmp_path)) == 1
+
+    def test_cache_dir_at_a_file_fails_cleanly_for_cache_cmd(self, tmp_path):
+        target = tmp_path / "not-a-dir"
+        target.touch()
+        with pytest.raises(SystemExit, match="not a directory"):
+            main(["cache", "--stats", "--cache-dir", str(target)])
