@@ -2,13 +2,17 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench figures examples clean
+.PHONY: install test lint bench figures examples clean
 
 install:
 	$(PYTHON) -m pip install -e .[test]
 
 test:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+# Repo-specific invariant lint (fingerprint/concurrency/numeric/API rules).
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro lint src/repro
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt

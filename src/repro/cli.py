@@ -22,6 +22,11 @@ Subcommands
 ``cache``
     Inspect or maintain the persistent solve cache
     (``repro-lrd cache --stats``, ``repro-lrd cache --compact``).
+``lint``
+    Run the repo-specific static-analysis rules
+    (``repro-lrd lint src/repro --format json``): fingerprint
+    completeness, concurrency discipline, numerical hygiene and
+    API-doc drift.  Exits 1 on any finding; CI gates on it.
 
 Execution-engine flags (``figure`` and ``solve``)
 -------------------------------------------------
@@ -49,13 +54,13 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-if TYPE_CHECKING:  # pragma: no cover - import for annotations only
-    from repro.exec import SweepEngine
-
 from repro.core.horizon import correlation_horizon, norros_horizon
 from repro.core.marginal import DiscreteMarginal
 from repro.core.source import CutoffFluidSource
 from repro.experiments import figures, reporting
+
+if TYPE_CHECKING:  # pragma: no cover - import for annotations only
+    from repro.exec import SweepEngine
 
 __all__ = ["main", "build_parser"]
 
@@ -136,6 +141,40 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="solve-cache directory (default: $REPRO_LRD_CACHE_DIR or ~/.cache/repro-lrd)",
+    )
+
+    lint = sub.add_parser("lint", help="run the repo-specific static-analysis rules")
+    lint.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="lint_format",
+        help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--select", action="append", default=None, metavar="RULE",
+        help="only run these rule ids or family prefixes (repeatable)",
+    )
+    lint.add_argument(
+        "--ignore", action="append", default=None, metavar="RULE",
+        help="skip these rule ids or family prefixes (repeatable)",
+    )
+    lint.add_argument(
+        "--api-doc", default=None, metavar="PATH",
+        help="API reference checked by API001 (default: <root>/docs/api.md)",
+    )
+    lint.add_argument(
+        "--root", default=None, metavar="DIR",
+        help="project root for display paths and docs (default: cwd)",
+    )
+    lint.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the report to this file",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
     )
 
     dimension = sub.add_parser(
@@ -271,6 +310,36 @@ def _run_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_lint(args: argparse.Namespace) -> int:
+    """Run the lintkit rules; exit 0 only when the tree is clean."""
+    from pathlib import Path
+
+    from repro.lintkit import LintEngine, all_rules, render_json, render_text, rules_by_id
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"  {rule.id}  {rule.name:<26} {rule.description}")
+        return 0
+    try:
+        rules = rules_by_id(select=args.select, ignore=args.ignore)
+    except ValueError as error:
+        raise SystemExit(f"repro-lrd: {error}") from None
+    root = Path(args.root) if args.root else Path.cwd()
+    engine = LintEngine(rules=rules, project_root=root, api_doc=args.api_doc)
+    missing = [path for path in args.paths if not Path(path).exists()]
+    if missing:
+        raise SystemExit(f"repro-lrd: no such path: {', '.join(missing)}")
+    findings = engine.run(args.paths)
+    if args.lint_format == "json":
+        report = render_json(findings, checked_files=len(engine.files), rules=rules)
+    else:
+        report = render_text(findings, checked_files=len(engine.files))
+    print(report)
+    if args.out:
+        reporting.write_report(args.out, report)
+    return 1 if findings else 0
+
+
 def _onoff_source(args: argparse.Namespace) -> CutoffFluidSource:
     marginal = DiscreteMarginal.two_state(
         low=0.0, high=args.peak, prob_high=args.on_probability
@@ -306,6 +375,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "cache":
         return _run_cache(args)
+
+    if args.command == "lint":
+        return _run_lint(args)
 
     if args.command == "figure":
         with _build_engine(args) as engine:

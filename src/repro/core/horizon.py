@@ -48,7 +48,9 @@ __all__ = [
 ]
 
 
-def _eq26(buffer_size: float, mean_interval: float, sigma_t: float, sigma_rate: float, p: float) -> float:
+def _eq26(
+    buffer_size: float, mean_interval: float, sigma_t: float, sigma_rate: float, p: float
+) -> float:
     return buffer_size * mean_interval / (2.0 * math.sqrt(2.0) * sigma_t * sigma_rate * erfinv(p))
 
 
@@ -184,7 +186,9 @@ def empirical_horizon(
         # No measurable loss anywhere near the plateau: the horizon is the
         # first cutoff at which the loss has already vanished.
         zero_tail = np.nonzero(losses > 0.0)[0]
-        return float(cutoffs[0] if zero_tail.size == 0 else cutoffs[min(zero_tail[-1] + 1, cutoffs.size - 1)])
+        if zero_tail.size == 0:
+            return float(cutoffs[0])
+        return float(cutoffs[min(zero_tail[-1] + 1, cutoffs.size - 1)])
     within = np.abs(losses - plateau) <= relative_band * plateau
     # Find the earliest index from which *every* later point is in band.
     for index in range(cutoffs.size):

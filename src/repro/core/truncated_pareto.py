@@ -212,7 +212,8 @@ class TruncatedPareto:
         approaches the atom mass plus zero continuous tail.
         """
         t_arr = np.asarray(t, dtype=np.float64)
-        out = np.where(t_arr < 0.0, 1.0, ((np.maximum(t_arr, 0.0) + self.theta) / self.theta) ** (-self.alpha))
+        tail = ((np.maximum(t_arr, 0.0) + self.theta) / self.theta) ** (-self.alpha)
+        out = np.where(t_arr < 0.0, 1.0, tail)
         if self.cutoff != math.inf:
             out = np.where(t_arr >= self.cutoff, 0.0, out)
         return out if np.ndim(t) else float(out)
@@ -220,7 +221,8 @@ class TruncatedPareto:
     def sf_inclusive(self, t: np.ndarray | float) -> np.ndarray | float:
         """``Pr{T >= t}``; differs from :meth:`sf` only at the cutoff atom."""
         t_arr = np.asarray(t, dtype=np.float64)
-        out = np.where(t_arr <= 0.0, 1.0, ((np.maximum(t_arr, 0.0) + self.theta) / self.theta) ** (-self.alpha))
+        tail = ((np.maximum(t_arr, 0.0) + self.theta) / self.theta) ** (-self.alpha)
+        out = np.where(t_arr <= 0.0, 1.0, tail)
         if self.cutoff != math.inf:
             out = np.where(t_arr > self.cutoff, 0.0, out)
         return out if np.ndim(t) else float(out)

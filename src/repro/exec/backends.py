@@ -27,9 +27,13 @@ import multiprocessing
 import os
 import time
 from collections.abc import Iterator, Sequence
+from typing import TYPE_CHECKING
 
 from repro.core.results import LossRateResult
 from repro.exec.task import SolveTask
+
+if TYPE_CHECKING:  # pragma: no cover - import for annotations only
+    from concurrent.futures import ProcessPoolExecutor
 
 __all__ = ["SerialBackend", "ProcessPoolBackend", "resolve_backend"]
 
@@ -101,7 +105,7 @@ class ProcessPoolBackend:
         if start_method is None and "fork" in multiprocessing.get_all_start_methods():
             start_method = "fork"
         self.start_method = start_method
-        self._pool = None
+        self._pool: ProcessPoolExecutor | None = None
 
     def _chunks(
         self, tasks: Sequence[tuple[int, SolveTask]]
@@ -111,7 +115,7 @@ class ProcessPoolBackend:
             size = max(1, -(-len(tasks) // (self.jobs * 4)))
         return [list(tasks[i : i + size]) for i in range(0, len(tasks), size)]
 
-    def _executor(self):
+    def _executor(self) -> ProcessPoolExecutor:
         if self._pool is None:
             from concurrent.futures import ProcessPoolExecutor
 

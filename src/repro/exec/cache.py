@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import json
 import os
+from collections.abc import Iterator
 from contextlib import contextmanager
 from pathlib import Path
 
@@ -79,7 +80,7 @@ class SolveCache:
     # ------------------------------------------------------------------ #
 
     @contextmanager
-    def _file_lock(self):
+    def _file_lock(self) -> Iterator[None]:
         """Advisory cross-process lock serializing writers (no-op sans fcntl)."""
         if fcntl is None:  # pragma: no cover - non-POSIX platforms
             yield

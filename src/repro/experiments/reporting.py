@@ -77,7 +77,8 @@ def format_series(
     lines.append(" | ".join(header))
     lines.append("-" * len(lines[-1]))
     for i, x in enumerate(x_values):
-        cells = [f"{_fmt_axis(float(x)):>12}"] + [f"{_fmt(float(vals[i])):>12}" for vals in series.values()]
+        cells = [f"{_fmt_axis(float(x)):>12}"]
+        cells += [f"{_fmt(float(vals[i])):>12}" for vals in series.values()]
         lines.append(" | ".join(cells))
     return "\n".join(lines)
 

@@ -1,0 +1,177 @@
+"""Shared AST helpers for the lint rules.
+
+Everything here is purely syntactic — the lintkit never imports the code
+it analyzes, so it works on broken trees-in-progress and on fixture
+snippets alike.  The helpers encode the repo's conventions once:
+what counts as a dataclass, what counts as a lock attribute, how a
+``with self._lock:`` guard is recognized.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+__all__ = [
+    "attach_parents",
+    "attr_chain",
+    "dataclass_fields",
+    "dict_literal_keys",
+    "enclosing_function",
+    "held_locks",
+    "is_dataclass_def",
+    "iter_parents",
+    "lock_attributes",
+    "self_attribute_target",
+    "with_lock_names",
+]
+
+_LOCK_FACTORIES = {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+
+
+def attach_parents(tree: ast.AST) -> None:
+    """Annotate every node with a ``_lint_parent`` backlink."""
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            child._lint_parent = parent  # type: ignore[attr-defined]
+
+
+def iter_parents(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``_lint_parent`` links from ``node`` to the module root."""
+    current = getattr(node, "_lint_parent", None)
+    while current is not None:
+        yield current
+        current = getattr(current, "_lint_parent", None)
+
+
+def attr_chain(node: ast.AST) -> str | None:
+    """Dotted name of an attribute/name chain (``np.random.seed``) or None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def is_dataclass_def(node: ast.ClassDef) -> bool:
+    """True when the class carries a ``@dataclass`` decorator (any spelling)."""
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = attr_chain(target)
+        if name in ("dataclass", "dataclasses.dataclass"):
+            return True
+    return False
+
+
+def dataclass_fields(node: ast.ClassDef) -> list[tuple[str, ast.AnnAssign]]:
+    """Field names of a dataclass body, in declaration order.
+
+    Annotated assignments whose annotation mentions ``ClassVar`` are
+    class-level constants, not fields, and are skipped — matching the
+    ``dataclasses`` runtime behaviour closely enough for linting.
+    """
+    fields: list[tuple[str, ast.AnnAssign]] = []
+    for statement in node.body:
+        if not isinstance(statement, ast.AnnAssign) or not isinstance(
+            statement.target, ast.Name
+        ):
+            continue
+        annotation = ast.unparse(statement.annotation)
+        if "ClassVar" in annotation:
+            continue
+        fields.append((statement.target.id, statement))
+    return fields
+
+
+def dict_literal_keys(node: ast.AST) -> set[str] | None:
+    """String keys of a ``{...}`` literal (or ``dict(...)`` call); None otherwise.
+
+    ``**spread`` entries make the key set unknowable statically, so they
+    also return None — callers must not report on partial knowledge.
+    """
+    if isinstance(node, ast.Dict):
+        keys: set[str] = set()
+        for key in node.keys:
+            if key is None:  # ** spread
+                return None
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                keys.add(key.value)
+            else:
+                return None
+        return keys
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "dict"
+        and not node.args
+    ):
+        return {keyword.arg for keyword in node.keywords if keyword.arg is not None}
+    return None
+
+
+def lock_attributes(class_def: ast.ClassDef) -> set[str]:
+    """Names of ``self.X`` attributes bound to ``threading`` lock objects.
+
+    Detects ``self.X = threading.Lock()`` (and RLock/Condition/Semaphore)
+    anywhere in the class body, which is how every lock in this repo is
+    declared.
+    """
+    locks: set[str] = set()
+    for node in ast.walk(class_def):
+        if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+            continue
+        callee = attr_chain(node.value.func)
+        if callee is None:
+            continue
+        tail = callee.rsplit(".", maxsplit=1)[-1]
+        if tail not in _LOCK_FACTORIES:
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                locks.add(target.attr)
+    return locks
+
+
+def self_attribute_target(node: ast.AST) -> str | None:
+    """Attribute name when ``node`` is a ``self.X`` expression, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def with_lock_names(node: ast.With, locks: set[str]) -> list[str]:
+    """Lock attributes acquired by a ``with`` statement (``with self.X:``)."""
+    names: list[str] = []
+    for item in node.items:
+        target = self_attribute_target(item.context_expr)
+        if target is not None and target in locks:
+            names.append(target)
+    return names
+
+
+def held_locks(node: ast.AST, locks: set[str]) -> set[str]:
+    """Lock attributes held at ``node`` (enclosing ``with self.X:`` blocks)."""
+    held: set[str] = set()
+    for parent in iter_parents(node):
+        if isinstance(parent, ast.With):
+            held.update(with_lock_names(parent, locks))
+    return held
+
+
+def enclosing_function(node: ast.AST) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+    """Nearest enclosing function definition, if any."""
+    for parent in iter_parents(node):
+        if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return parent
+    return None

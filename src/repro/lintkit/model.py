@@ -1,0 +1,155 @@
+"""Findings, rule base class and the rule registry.
+
+A *rule* inspects source files (or the whole analyzed file set) and
+yields :class:`Finding` records.  Rules self-register through the
+:func:`register` decorator so the engine, the CLI and the tests all see
+one canonical catalogue (:func:`all_rules`) without import-order games —
+importing :mod:`repro.lintkit` loads every built-in rule module once.
+
+Rule identifiers group into families by prefix:
+
+========  ==========================================================
+``FPR``   fingerprint completeness (cache-key material vs dataclasses)
+``CON``   concurrency discipline (locks, lock order, blocking calls)
+``NUM``   numerical hygiene (float equality, global RNG, wall clocks)
+``API``   public API surface vs generated documentation
+========  ==========================================================
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import TYPE_CHECKING, ClassVar
+
+if TYPE_CHECKING:  # pragma: no cover - import for annotations only
+    from repro.lintkit.engine import LintContext, SourceFile
+
+__all__ = ["Severity", "Finding", "Rule", "register", "all_rules", "rules_by_id"]
+
+
+class Severity(str, Enum):
+    """How seriously a finding should be taken; the CI gate fails on any."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Sort order is (path, line, col, rule) so reports are stable across
+    runs and dict/set iteration orders.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str = field(compare=False)
+    severity: Severity = field(default=Severity.ERROR, compare=False)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-able record for the machine-readable report."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set the class attributes and override :meth:`check_file`
+    (called once per parsed source file) and/or :meth:`check_project`
+    (called once per run with the full file set — for cross-file
+    invariants such as fingerprint completeness).  Both default to
+    yielding nothing, so a rule implements whichever scope it needs.
+    """
+
+    id: ClassVar[str] = ""
+    name: ClassVar[str] = ""
+    description: ClassVar[str] = ""
+
+    def check_file(self, source: "SourceFile", ctx: "LintContext") -> Iterator[Finding]:
+        """Per-file pass; yield findings for ``source``."""
+        return iter(())
+
+    def check_project(self, ctx: "LintContext") -> Iterator[Finding]:
+        """Whole-file-set pass; ``ctx.files`` holds every parsed file."""
+        return iter(())
+
+    def finding(
+        self,
+        source: "SourceFile",
+        node: object,
+        message: str,
+        severity: Severity = Severity.ERROR,
+    ) -> Finding:
+        """Build a finding anchored at an AST node of ``source``."""
+        line = getattr(node, "lineno", 0)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            path=str(source.display_path),
+            line=int(line),
+            col=int(col) + 1,
+            rule=self.id,
+            message=message,
+            severity=severity,
+        )
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global catalogue (id-unique)."""
+    if not rule_cls.id:
+        raise ValueError(f"rule {rule_cls.__name__} has no id")
+    existing = _REGISTRY.get(rule_cls.id)
+    if existing is not None and existing is not rule_cls:
+        raise ValueError(f"duplicate rule id {rule_cls.id!r}")
+    _REGISTRY[rule_cls.id] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> list[Rule]:
+    """Fresh instances of every registered rule, sorted by id."""
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+def rules_by_id(
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> list[Rule]:
+    """Instantiate the selected subset of the catalogue.
+
+    ``select`` limits the run to the given ids (or id prefixes, so
+    ``CON`` selects the whole concurrency family); ``ignore`` removes
+    ids/prefixes after selection.  Unknown ids raise ``ValueError`` so a
+    typo in a CI invocation fails loudly instead of silently passing.
+    """
+    known = sorted(_REGISTRY)
+
+    def expand(patterns: Iterable[str], role: str) -> set[str]:
+        chosen: set[str] = set()
+        for pattern in patterns:
+            matches = [rule_id for rule_id in known if rule_id.startswith(pattern)]
+            if not matches:
+                raise ValueError(f"unknown rule or prefix in --{role}: {pattern!r}")
+            chosen.update(matches)
+        return chosen
+
+    active = expand(select, "select") if select else set(known)
+    if ignore:
+        active -= expand(ignore, "ignore")
+    return [_REGISTRY[rule_id]() for rule_id in sorted(active)]

@@ -1,0 +1,58 @@
+"""Render lint findings for humans (text) and machines (JSON).
+
+The JSON form is what the CI ``lint-deep`` job uploads as an artifact:
+a stable top-level object with the rule catalogue version, per-rule
+counts and the findings themselves, so dashboards can diff runs without
+re-parsing free text.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from collections.abc import Sequence
+
+from repro.lintkit.model import Finding, Rule
+
+__all__ = ["render_text", "render_json", "REPORT_VERSION"]
+
+REPORT_VERSION = 1
+"""Bump when the JSON report layout changes."""
+
+
+def render_text(findings: Sequence[Finding], checked_files: int = 0) -> str:
+    """Human-readable report: one ``path:line:col: RULE message`` per line."""
+    lines = [str(finding) for finding in findings]
+    if findings:
+        by_rule = Counter(finding.rule for finding in findings)
+        summary = ", ".join(f"{rule} x{count}" for rule, count in sorted(by_rule.items()))
+        lines.append("")
+        lines.append(
+            f"{len(findings)} finding{'s' if len(findings) != 1 else ''} "
+            f"({summary}) in {checked_files} files"
+        )
+    else:
+        lines.append(f"clean: 0 findings in {checked_files} files")
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: Sequence[Finding],
+    checked_files: int = 0,
+    rules: Sequence[Rule] | None = None,
+) -> str:
+    """Machine-readable report (see module docstring for stability rules)."""
+    payload = {
+        "report_version": REPORT_VERSION,
+        "checked_files": checked_files,
+        "total_findings": len(findings),
+        "findings_by_rule": dict(
+            sorted(Counter(finding.rule for finding in findings).items())
+        ),
+        "rules": [
+            {"id": rule.id, "name": rule.name, "description": rule.description}
+            for rule in (rules or [])
+        ],
+        "findings": [finding.to_dict() for finding in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False) + "\n"

@@ -1,0 +1,81 @@
+"""API-surface drift rule (``API``).
+
+``docs/api.md`` is generated from the package's ``__all__`` lists by
+``tools/gen_api_docs.py`` — but nothing failed when someone exported a
+new symbol and forgot to regenerate, so the reference could silently
+fall behind the code.  This rule closes the loop: every public name a
+linted module exports through ``__all__`` must appear (backticked, the
+generator's format) in the API document.
+
+The check is one-directional on purpose.  Stale *extra* entries in the
+document are cosmetic; a public symbol with no documentation is drift.
+Runs where the document does not exist (fixture trees for other rule
+families) are skipped rather than flooded.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from repro.lintkit.engine import LintContext, SourceFile
+from repro.lintkit.model import Finding, Rule, register
+
+__all__ = ["ApiDocDriftRule", "module_exports"]
+
+
+def module_exports(source: SourceFile) -> tuple[ast.AST | None, list[str]]:
+    """The module's ``__all__`` assignment node and its string entries."""
+    for node in source.tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                if isinstance(node.value, (ast.List, ast.Tuple)):
+                    return node, [
+                        element.value
+                        for element in node.value.elts
+                        if isinstance(element, ast.Constant)
+                        and isinstance(element.value, str)
+                    ]
+    return None, []
+
+
+@register
+class ApiDocDriftRule(Rule):
+    """Every ``__all__`` export must appear in the generated API reference."""
+
+    id = "API001"
+    name = "api-doc-drift"
+    description = (
+        "a symbol exported through __all__ is missing from docs/api.md; "
+        "regenerate it with `python tools/gen_api_docs.py`"
+    )
+
+    def check_project(self, ctx: LintContext) -> Iterator[Finding]:
+        if ctx.api_doc is None or not ctx.api_doc.exists():
+            return
+        text = ctx.api_doc.read_text(encoding="utf-8")
+        documented = set(re.findall(r"`([A-Za-z_][A-Za-z0-9_.]*)", text))
+        for source in ctx.files:
+            if not source.module.startswith("repro"):
+                continue
+            # Private modules (repro.traffic._intervals) are not part of
+            # the documented surface; the generator skips them too.
+            if any(part.startswith("_") for part in source.module.split(".")):
+                continue
+            node, exports = module_exports(source)
+            if node is None:
+                continue
+            for name in exports:
+                if name.startswith("_"):
+                    continue
+                if name not in documented:
+                    yield self.finding(
+                        source,
+                        node,
+                        f"public symbol {source.module}.{name} is exported via "
+                        f"__all__ but absent from {ctx.api_doc.name}; run "
+                        f"`python tools/gen_api_docs.py`",
+                    )

@@ -1,0 +1,260 @@
+"""Concurrency-discipline rules (``CON``) for lock-owning classes.
+
+The serving layer shares mutable state between HTTP handler threads, the
+micro-batch dispatcher thread and the closing thread; the execution
+engine shares a cache and telemetry between callers.  The invariants the
+code relies on — but never wrote down — are:
+
+* **CON001** — an attribute of a lock-owning class (one that binds
+  ``self.X = threading.Lock()``/``RLock``/``Condition``/``Semaphore``)
+  that is touched from more than one method must only be *written* while
+  holding one of the class's locks.  ``__init__`` is exempt (the object
+  is not yet shared).
+* **CON002** — when two of a class's locks nest, the class module must
+  declare the order in a module-level ``LOCK_ORDER`` tuple, and every
+  nesting must acquire in that order.  Undeclared or inverted nesting is
+  how deadlocks are born.
+* **CON003** — no blocking call (solver work, joins, future waits,
+  socket/HTTP I/O, sleeps) while holding a lock.  ``Condition.wait`` is
+  fine — it releases the lock — but parking a thread inside a critical
+  section stalls every other thread at the lock.
+
+All three are syntactic by design: they catch the overwhelmingly common
+shapes (``with self._lock:``) and stay silent on exotic ones rather than
+guessing.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lintkit.astutil import (
+    attr_chain,
+    enclosing_function,
+    held_locks,
+    lock_attributes,
+    self_attribute_target,
+    with_lock_names,
+)
+from repro.lintkit.engine import LintContext, SourceFile
+from repro.lintkit.model import Finding, Rule, register
+
+__all__ = [
+    "BlockingCallUnderLockRule",
+    "LockOrderRule",
+    "UnlockedSharedWriteRule",
+    "BLOCKING_CALL_NAMES",
+]
+
+BLOCKING_CALL_NAMES = frozenset(
+    {
+        "sleep",
+        "join",
+        "result",  # Future.result parks the thread
+        "recv",
+        "send",
+        "sendall",
+        "accept",
+        "connect",
+        "urlopen",
+        "serve_forever",
+        "run_tasks",
+        "run_grid",
+        "solve",
+        "solve_loss_rate",
+        "loss_rate",
+    }
+)
+"""Call names treated as blocking when they appear under a held lock."""
+
+
+def _method_map(class_def: ast.ClassDef) -> dict[str, ast.FunctionDef]:
+    return {
+        statement.name: statement
+        for statement in class_def.body
+        if isinstance(statement, ast.FunctionDef)
+    }
+
+
+def _attribute_accesses(
+    method: ast.FunctionDef,
+) -> Iterator[tuple[str, ast.AST, bool]]:
+    """Yield ``(attr, node, is_write)`` for every ``self.X`` access."""
+    for node in ast.walk(method):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                elements = target.elts if isinstance(target, ast.Tuple) else [target]
+                for element in elements:
+                    attr = self_attribute_target(element)
+                    if attr is not None:
+                        yield attr, node, True
+        elif isinstance(node, ast.Attribute):
+            attr = self_attribute_target(node)
+            if attr is not None:
+                yield attr, node, False
+
+
+@register
+class UnlockedSharedWriteRule(Rule):
+    """Cross-thread attribute writes must happen under the class's lock."""
+
+    id = "CON001"
+    name = "unlocked-shared-write"
+    description = (
+        "in a class that owns a threading lock, an attribute accessed from "
+        "multiple methods is written outside any `with self.<lock>` block"
+    )
+
+    def check_file(self, source: SourceFile, ctx: LintContext) -> Iterator[Finding]:
+        for class_def in ast.walk(source.tree):
+            if not isinstance(class_def, ast.ClassDef):
+                continue
+            locks = lock_attributes(class_def)
+            if not locks:
+                continue
+            methods = _method_map(class_def)
+            # Which methods touch which attribute (reads and writes both
+            # count as "shared from" a method; __init__ publishes, so it
+            # is excluded from the sharing census and from enforcement).
+            touched_in: dict[str, set[str]] = {}
+            for name, method in methods.items():
+                if name == "__init__":
+                    continue
+                for attr, _, _ in _attribute_accesses(method):
+                    touched_in.setdefault(attr, set()).add(name)
+            shared = {
+                attr
+                for attr, names in touched_in.items()
+                if len(names) > 1 and attr not in locks
+            }
+            for name, method in methods.items():
+                if name == "__init__":
+                    continue
+                for attr, node, is_write in _attribute_accesses(method):
+                    if not is_write or attr not in shared:
+                        continue
+                    if held_locks(node, locks):
+                        continue
+                    yield self.finding(
+                        source,
+                        node,
+                        f"{class_def.name}.{attr} is shared across methods "
+                        f"({', '.join(sorted(touched_in[attr]))}) but written "
+                        f"here outside any `with self.<lock>` block",
+                    )
+
+
+@register
+class LockOrderRule(Rule):
+    """Nested lock acquisition must follow a declared ``LOCK_ORDER``."""
+
+    id = "CON002"
+    name = "lock-order"
+    description = (
+        "two locks of one class nest without a module-level LOCK_ORDER "
+        "declaration, or nest against the declared order"
+    )
+
+    @staticmethod
+    def _declared_order(source: SourceFile) -> list[str] | None:
+        for node in source.tree.body:
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "LOCK_ORDER":
+                    if isinstance(node.value, (ast.Tuple, ast.List)):
+                        return [
+                            element.value
+                            for element in node.value.elts
+                            if isinstance(element, ast.Constant)
+                            and isinstance(element.value, str)
+                        ]
+        return None
+
+    def check_file(self, source: SourceFile, ctx: LintContext) -> Iterator[Finding]:
+        order = self._declared_order(source)
+        for class_def in ast.walk(source.tree):
+            if not isinstance(class_def, ast.ClassDef):
+                continue
+            locks = lock_attributes(class_def)
+            if len(locks) < 2:
+                continue  # a single lock cannot deadlock against itself
+            for node in ast.walk(class_def):
+                if not isinstance(node, ast.With):
+                    continue
+                inner = with_lock_names(node, locks)
+                if not inner:
+                    continue
+                outer = held_locks(node, locks)
+                for held in sorted(outer):
+                    for acquired in inner:
+                        if acquired == held:
+                            continue
+                        if order is None:
+                            yield self.finding(
+                                source,
+                                node,
+                                f"{class_def.name} acquires self.{acquired} while "
+                                f"holding self.{held} but the module declares no "
+                                f"LOCK_ORDER tuple",
+                            )
+                        elif (
+                            held not in order
+                            or acquired not in order
+                            or order.index(held) > order.index(acquired)
+                        ):
+                            yield self.finding(
+                                source,
+                                node,
+                                f"{class_def.name} acquires self.{acquired} while "
+                                f"holding self.{held}, violating LOCK_ORDER "
+                                f"{tuple(order)}",
+                            )
+
+
+@register
+class BlockingCallUnderLockRule(Rule):
+    """No blocking call while holding a lock."""
+
+    id = "CON003"
+    name = "blocking-call-under-lock"
+    description = (
+        "a call that can block (solve, join, Future.result, socket I/O, "
+        "sleep) happens inside a `with self.<lock>` block"
+    )
+
+    def check_file(self, source: SourceFile, ctx: LintContext) -> Iterator[Finding]:
+        for class_def in ast.walk(source.tree):
+            if not isinstance(class_def, ast.ClassDef):
+                continue
+            locks = lock_attributes(class_def)
+            if not locks:
+                continue
+            for node in ast.walk(class_def):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = attr_chain(node.func)
+                if callee is None:
+                    continue
+                tail = callee.rsplit(".", maxsplit=1)[-1]
+                if tail not in BLOCKING_CALL_NAMES:
+                    continue
+                # Condition.wait/wait_for release the lock; and calling a
+                # *lock attribute's* own method (acquire/release/notify)
+                # is lock management, not work under the lock.
+                parts = callee.split(".")
+                if len(parts) >= 2 and parts[0] == "self" and parts[1] in locks:
+                    continue
+                held = held_locks(node, locks)
+                if not held:
+                    continue
+                function = enclosing_function(node)
+                where = f" in {function.name}()" if function is not None else ""
+                yield self.finding(
+                    source,
+                    node,
+                    f"blocking call {callee}(){where} while holding "
+                    f"{', '.join('self.' + name for name in sorted(held))}",
+                )

@@ -1,0 +1,141 @@
+"""Fingerprint-completeness rules (``FPR``).
+
+The persistent solve cache is content-addressed: a result is reused iff
+the SHA-256 of its task payload matches, so *every* dataclass field that
+can change a solver answer must appear in the payload that gets hashed.
+Nothing enforced that until now — adding a knob to ``SolverConfig``
+without touching :func:`repro.core.fingerprint.payload_of` would silently
+serve stale cache entries for every new knob value.
+
+These rules cross-reference, purely syntactically:
+
+* ``isinstance(obj, X)`` branches inside any function named
+  ``payload_of`` that return a dict literal — the central encoder;
+* methods named ``payload`` on dataclasses returning a dict literal —
+  the cache-key builders (e.g. ``SolveTask.payload``);
+
+against the field lists of the matching ``@dataclass`` definitions found
+anywhere in the linted file set.  A field with no same-named payload key
+is a finding.  Extra keys (``kind``, ``solver_version``) are fine — only
+*missing* coverage corrupts cache identity.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lintkit.astutil import dataclass_fields, dict_literal_keys, is_dataclass_def
+from repro.lintkit.engine import LintContext, SourceFile
+from repro.lintkit.model import Finding, Rule, register
+
+__all__ = ["FingerprintCompletenessRule"]
+
+
+def _dataclass_index(ctx: LintContext) -> dict[str, tuple[SourceFile, ast.ClassDef]]:
+    """Map dataclass name -> (file, class def) across the linted file set."""
+    index: dict[str, tuple[SourceFile, ast.ClassDef]] = {}
+    for source in ctx.files:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef) and is_dataclass_def(node):
+                index[node.name] = (source, node)
+    return index
+
+
+def _isinstance_classes(test: ast.expr) -> list[str]:
+    """Class names asserted by ``isinstance(obj, X)`` tests in a branch guard.
+
+    Handles the encoder's real shapes: a bare ``isinstance`` call, an
+    ``or`` chain (``obj is None or isinstance(obj, SolverConfig)``), and
+    a tuple of classes.
+    """
+    names: list[str] = []
+    stack: list[ast.expr] = [test]
+    while stack:
+        expr = stack.pop()
+        if isinstance(expr, ast.BoolOp):
+            stack.extend(expr.values)
+            continue
+        if (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Name)
+            and expr.func.id == "isinstance"
+            and len(expr.args) == 2
+        ):
+            target = expr.args[1]
+            candidates = target.elts if isinstance(target, ast.Tuple) else [target]
+            for candidate in candidates:
+                if isinstance(candidate, ast.Name):
+                    names.append(candidate.id)
+    return names
+
+
+def _returned_dict_keys(body: list[ast.stmt]) -> tuple[ast.AST, set[str]] | None:
+    """Keys of the first ``return {...}`` in a statement list, if literal."""
+    for statement in body:
+        for node in ast.walk(statement):
+            if isinstance(node, ast.Return) and node.value is not None:
+                keys = dict_literal_keys(node.value)
+                if keys is not None:
+                    return node, keys
+    return None
+
+
+def _payload_sites(source: SourceFile) -> Iterator[tuple[str, ast.AST, set[str]]]:
+    """Yield ``(class_name, anchor_node, payload_keys)`` encoder sites.
+
+    Covers both conventions: branches of a ``payload_of`` dispatcher and
+    ``payload`` methods defined inside a class body.
+    """
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.FunctionDef) and node.name == "payload_of":
+            for branch in ast.walk(node):
+                if not isinstance(branch, ast.If):
+                    continue
+                returned = _returned_dict_keys(branch.body)
+                if returned is None:
+                    continue
+                anchor, keys = returned
+                for class_name in _isinstance_classes(branch.test):
+                    yield class_name, anchor, keys
+        elif isinstance(node, ast.ClassDef):
+            for statement in node.body:
+                if (
+                    isinstance(statement, ast.FunctionDef)
+                    and statement.name == "payload"
+                ):
+                    returned = _returned_dict_keys(statement.body)
+                    if returned is not None:
+                        anchor, keys = returned
+                        yield node.name, anchor, keys
+
+
+@register
+class FingerprintCompletenessRule(Rule):
+    """Every dataclass field must be covered by its fingerprint payload."""
+
+    id = "FPR001"
+    name = "fingerprint-completeness"
+    description = (
+        "a dataclass encoded by repro.core.fingerprint (payload_of branch or "
+        "a payload() method) has a field missing from the hashed payload keys; "
+        "the solve cache would alias results across values of that field"
+    )
+
+    def check_project(self, ctx: LintContext) -> Iterator[Finding]:
+        dataclasses = _dataclass_index(ctx)
+        for source in ctx.files:
+            for class_name, anchor, keys in _payload_sites(source):
+                found = dataclasses.get(class_name)
+                if found is None:
+                    continue  # class defined outside the linted set
+                _, class_def = found
+                for field_name, _ in dataclass_fields(class_def):
+                    if field_name not in keys:
+                        yield self.finding(
+                            source,
+                            anchor,
+                            f"payload for {class_name} omits dataclass field "
+                            f"{field_name!r}; cache keys will not distinguish "
+                            f"values of {class_name}.{field_name}",
+                        )

@@ -1,0 +1,219 @@
+"""Numerical-hygiene rules (``NUM``).
+
+The solver's correctness argument (Proposition II.1) rests on exact
+floor/ceil discretization and on results being pure functions of their
+inputs.  Clegg's critique of LRD modelling is a catalogue of conclusions
+silently invalidated by numerics; these rules fence off the classic ways
+that happens in Python:
+
+* **NUM001** — equality comparison against an inexact float literal
+  (``x == 0.2``) or against NaN.  Exact sentinels are allowed: ``0.0``
+  and infinities are exactly representable and used as API markers
+  (``buffer_size == 0.0`` selects the closed-form bufferless path).
+* **NUM002** — global numpy RNG state (``np.random.seed``/``np.random.rand``)
+  in library code.  Every sampler in this repo takes an explicit
+  ``np.random.Generator`` so experiments are reproducible and parallel
+  workers cannot share hidden state; ``default_rng``/``Generator``/
+  ``SeedSequence`` are of course fine.
+* **NUM003** — wall-clock reads (``time.time``) in library code.  Wall
+  clocks jump (NTP, DST); durations must come from ``perf_counter`` or
+  ``monotonic``, and *results* must not embed clock reads at all.
+* **NUM004** — silent precision downcasts (``astype(np.float32)``,
+  ``dtype="float32"`` and friends) inside ``repro.core``, where every
+  bound is derived in float64 and a downcast invalidates the
+  bit-exactness contracts the cache and the tests rely on.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lintkit.astutil import attr_chain
+from repro.lintkit.engine import LintContext, SourceFile
+from repro.lintkit.model import Finding, Rule, register
+
+__all__ = [
+    "FloatEqualityRule",
+    "GlobalRandomStateRule",
+    "WallClockRule",
+    "DtypeDowncastRule",
+]
+
+_SAFE_RNG_ATTRS = frozenset(
+    {"Generator", "default_rng", "SeedSequence", "BitGenerator", "PCG64", "Philox"}
+)
+_NARROW_DTYPES = frozenset(
+    {"float32", "float16", "int32", "int16", "int8", "uint32", "uint16", "uint8"}
+)
+
+
+def _is_nan_expr(node: ast.expr) -> bool:
+    name = attr_chain(node)
+    if name in ("math.nan", "np.nan", "numpy.nan"):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "float"
+        and len(node.args) == 1
+        and isinstance(node.args[0], ast.Constant)
+        and str(node.args[0].value).lower() in ("nan", "-nan")
+    )
+
+
+def _inexact_float_literal(node: ast.expr) -> bool:
+    """True for float literals that are not exact sentinels (0.0, inf)."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        value = node.value
+        return value != 0.0 and value != float("inf")
+    return False
+
+
+@register
+class FloatEqualityRule(Rule):
+    """No ``==``/``!=`` against inexact float literals or NaN."""
+
+    id = "NUM001"
+    name = "float-equality"
+    description = (
+        "equality comparison against an inexact float literal or NaN; "
+        "compare with a tolerance (math.isclose) or restructure"
+    )
+
+    def check_file(self, source: SourceFile, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands[:-1], operands[1:], strict=True):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                for side in (left, right):
+                    if _is_nan_expr(side):
+                        yield self.finding(
+                            source,
+                            node,
+                            "comparison with NaN is always "
+                            + ("False" if isinstance(op, ast.Eq) else "True")
+                            + "; use math.isnan/np.isnan",
+                        )
+                        break
+                    if _inexact_float_literal(side):
+                        yield self.finding(
+                            source,
+                            node,
+                            f"float equality against inexact literal "
+                            f"{ast.unparse(side)}; use math.isclose or an "
+                            f"explicit tolerance",
+                        )
+                        break
+
+
+@register
+class GlobalRandomStateRule(Rule):
+    """Library code must thread an explicit ``np.random.Generator``."""
+
+    id = "NUM002"
+    name = "global-random-state"
+    description = (
+        "use of the global numpy RNG (np.random.seed/rand/...) in library "
+        "code; take an np.random.Generator parameter instead"
+    )
+
+    def check_file(self, source: SourceFile, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            name = attr_chain(node) if isinstance(node, ast.Attribute) else None
+            if name is None:
+                continue
+            parts = name.split(".")
+            if len(parts) < 3 or parts[0] not in ("np", "numpy") or parts[1] != "random":
+                continue
+            if parts[2] in _SAFE_RNG_ATTRS:
+                continue
+            # Only flag the outermost attribute of the chain once.
+            parent = getattr(node, "_lint_parent", None)
+            if isinstance(parent, ast.Attribute):
+                continue
+            yield self.finding(
+                source,
+                node,
+                f"global numpy RNG state via {name}; pass an explicit "
+                f"np.random.Generator (np.random.default_rng(seed))",
+            )
+
+
+@register
+class WallClockRule(Rule):
+    """No ``time.time()`` wall-clock reads in library code."""
+
+    id = "NUM003"
+    name = "wall-clock-read"
+    description = (
+        "time.time() read in library code; durations need time.perf_counter "
+        "or time.monotonic, and results must not embed wall clocks"
+    )
+
+    def check_file(self, source: SourceFile, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if attr_chain(node.func) == "time.time":
+                yield self.finding(
+                    source,
+                    node,
+                    "wall-clock read time.time(); use time.perf_counter for "
+                    "durations or time.monotonic for deadlines",
+                )
+
+
+@register
+class DtypeDowncastRule(Rule):
+    """No silent precision downcasts inside ``repro.core``."""
+
+    id = "NUM004"
+    name = "dtype-downcast"
+    description = (
+        "narrowing dtype (float32/int16/...) in repro.core, where bounds "
+        "and cache identity are defined in float64"
+    )
+
+    def check_file(self, source: SourceFile, ctx: LintContext) -> Iterator[Finding]:
+        if not source.in_package("repro.core"):
+            return
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            narrow = self._narrow_dtype_argument(node)
+            if narrow is not None:
+                yield self.finding(
+                    source,
+                    node,
+                    f"narrowing dtype {narrow} in repro.core; the solver's "
+                    f"bound guarantees and cache fingerprints assume float64",
+                )
+
+    @staticmethod
+    def _dtype_name(node: ast.expr) -> str | None:
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value
+        chain = attr_chain(node)
+        if chain is not None and chain.split(".")[0] in ("np", "numpy"):
+            return chain.split(".")[-1]
+        return None
+
+    def _narrow_dtype_argument(self, call: ast.Call) -> str | None:
+        callee = attr_chain(call.func)
+        if callee is not None and callee.rsplit(".", maxsplit=1)[-1] == "astype":
+            for argument in call.args[:1]:
+                name = self._dtype_name(argument)
+                if name in _NARROW_DTYPES:
+                    return name
+        for keyword in call.keywords:
+            if keyword.arg == "dtype":
+                name = self._dtype_name(keyword.value)
+                if name in _NARROW_DTYPES:
+                    return name
+        return None

@@ -85,7 +85,8 @@ class HyperexponentialFit:
     def sf(self, t: np.ndarray | float) -> np.ndarray | float:
         """Complementary cdf of the mixture."""
         t_arr = np.asarray(t, dtype=np.float64)
-        out = (self.weights[None, :] * np.exp(-np.outer(t_arr.ravel(), self.exit_rates))).sum(axis=1)
+        decay = np.exp(-np.outer(t_arr.ravel(), self.exit_rates))
+        out = (self.weights[None, :] * decay).sum(axis=1)
         out = out.reshape(t_arr.shape)
         return out if np.ndim(t) else float(out)
 
@@ -93,7 +94,8 @@ class HyperexponentialFit:
         """Stationary residual-life ccdf — the induced rate autocorrelation."""
         t_arr = np.asarray(t, dtype=np.float64)
         time_weights = (self.weights / self.exit_rates) / self.mean
-        out = (time_weights[None, :] * np.exp(-np.outer(t_arr.ravel(), self.exit_rates))).sum(axis=1)
+        decay = np.exp(-np.outer(t_arr.ravel(), self.exit_rates))
+        out = (time_weights[None, :] * decay).sum(axis=1)
         out = out.reshape(t_arr.shape)
         return out if np.ndim(t) else float(out)
 

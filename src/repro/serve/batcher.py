@@ -142,13 +142,18 @@ class MicroBatcher:
             batch = self._collect()
             if batch is None:
                 return
-            self.batches += 1
-            self.items_dispatched += len(batch)
-            self.max_batch = max(self.max_batch, len(batch))
+            # Counter updates take the lock: `snapshot` reads them from
+            # arbitrary HTTP threads while this thread mutates them.  The
+            # dispatch itself runs unlocked — it blocks on the engine.
+            with self._cond:
+                self.batches += 1
+                self.items_dispatched += len(batch)
+                self.max_batch = max(self.max_batch, len(batch))
             try:
                 self._dispatch(batch)
             except Exception:
-                self.dispatch_errors += 1
+                with self._cond:
+                    self.dispatch_errors += 1
 
     # ------------------------------------------------------------------ #
     # shutdown
@@ -171,18 +176,23 @@ class MicroBatcher:
             self._thread.join()
 
     def snapshot(self) -> dict:
-        """JSON-able counters for ``/stats``."""
+        """JSON-able counters for ``/stats`` (one consistent read)."""
         with self._cond:
             depth = len(self._items)
-        batches = self.batches
+            shed = self.shed
+            batches = self.batches
+            items_dispatched = self.items_dispatched
+            max_batch = self.max_batch
+            dispatch_errors = self.dispatch_errors
         return {
             "depth": depth,
             "max_queue": self.max_queue,
-            "shed": self.shed,
+            "shed": shed,
             "batches": batches,
-            "items_dispatched": self.items_dispatched,
-            "mean_batch": (self.items_dispatched / batches) if batches else 0.0,
-            "max_batch": self.max_batch,
+            "items_dispatched": items_dispatched,
+            "mean_batch": (items_dispatched / batches) if batches else 0.0,
+            "max_batch": max_batch,
+            "dispatch_errors": dispatch_errors,
             "batch_size": self.batch_size,
             "batch_delay_s": self.batch_delay_s,
         }

@@ -11,7 +11,6 @@ import pytest
 from repro.core.fingerprint import PAYLOAD_VERSION, payload_of, restore, stable_hash
 from repro.core.marginal import DiscreteMarginal
 from repro.core.solver import DEFAULT_FFT_THRESHOLD_BINS, SOLVER_VERSION, SolverConfig
-from repro.core.source import CutoffFluidSource
 from repro.core.truncated_pareto import TruncatedPareto
 
 

@@ -1,0 +1,108 @@
+"""Property-based invariants of the canonical fingerprint encoding.
+
+The solve cache keys on :func:`repro.core.fingerprint.stable_hash`, so two
+properties are load-bearing:
+
+* the hash must not depend on payload dict insertion order (it is a
+  content hash, not a structural one), and
+* changing *any* dataclass field value must change the hash, otherwise
+  distinct work units alias the same cache entry (the failure mode the
+  FPR001 lint rule guards against statically).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.fingerprint import payload_of, stable_hash
+from repro.core.solver import SolverConfig
+from repro.core.truncated_pareto import TruncatedPareto
+
+
+@st.composite
+def solver_configs(draw) -> SolverConfig:
+    # Lower bounds of 3/2 leave room to decrement a field in the mutation
+    # test without tripping ``__post_init__`` validation.
+    initial_bins = draw(st.integers(min_value=3, max_value=512))
+    block_iterations = draw(st.integers(min_value=2, max_value=64))
+    return SolverConfig(
+        initial_bins=initial_bins,
+        max_bins=initial_bins * draw(st.integers(min_value=1, max_value=64)),
+        relative_gap=draw(st.floats(min_value=1e-3, max_value=0.9)),
+        negligible_loss=draw(st.floats(min_value=0.0, max_value=1e-6)),
+        block_iterations=block_iterations,
+        max_iterations=block_iterations * draw(st.integers(min_value=1, max_value=1000)),
+        stall_relative_change=draw(st.floats(min_value=1e-8, max_value=1e-2)),
+        use_fft=draw(st.booleans()),
+        fft_threshold_bins=draw(st.integers(min_value=0, max_value=4096)),
+    )
+
+
+@st.composite
+def pareto_laws(draw) -> TruncatedPareto:
+    return TruncatedPareto(
+        theta=draw(st.floats(min_value=1e-3, max_value=100.0)),
+        alpha=draw(st.floats(min_value=1.001, max_value=1.999)),
+        cutoff=draw(st.floats(min_value=0.5, max_value=1e6)),
+    )
+
+
+def _reordered(payload: dict, reverse: bool) -> dict:
+    items = list(payload.items())
+    if reverse:
+        items.reverse()
+    else:
+        items = items[1:] + items[:1]
+    return dict(items)
+
+
+@given(config=solver_configs(), reverse=st.booleans())
+def test_hash_ignores_payload_field_order(config: SolverConfig, reverse: bool):
+    payload = payload_of(config)
+    assert stable_hash(_reordered(payload, reverse)) == stable_hash(payload)
+
+
+@given(law=pareto_laws(), reverse=st.booleans())
+def test_pareto_hash_ignores_payload_field_order(law: TruncatedPareto, reverse: bool):
+    payload = payload_of(law)
+    assert stable_hash(_reordered(payload, reverse)) == stable_hash(payload)
+
+
+@given(config=solver_configs())
+def test_every_config_field_change_changes_the_hash(config: SolverConfig):
+    base = stable_hash(payload_of(config))
+    for field in dataclasses.fields(config):
+        value = getattr(config, field.name)
+        if field.name == "use_fft":
+            bumped = not value
+        elif field.name in ("max_bins", "max_iterations", "fft_threshold_bins"):
+            bumped = value + 1  # growing these never violates validation
+        elif isinstance(value, int):
+            bumped = value - 1  # lower strategy bounds keep this valid
+        else:
+            bumped = value * 0.5 + 1e-9
+        mutated = dataclasses.replace(config, **{field.name: bumped})
+        assert stable_hash(payload_of(mutated)) != base, (
+            f"changing SolverConfig.{field.name} did not change the cache key"
+        )
+
+
+@given(law=pareto_laws())
+def test_every_pareto_field_change_changes_the_hash(law: TruncatedPareto):
+    base = stable_hash(payload_of(law))
+    for field in dataclasses.fields(law):
+        value = getattr(law, field.name)
+        bumped = 1.0 + value / 2.0 if field.name == "alpha" else value * 0.5 + 1e-6
+        mutated = dataclasses.replace(law, **{field.name: bumped})
+        assert stable_hash(payload_of(mutated)) != base, (
+            f"changing TruncatedPareto.{field.name} did not change the cache key"
+        )
+
+
+@given(config=solver_configs())
+def test_hash_is_deterministic_across_equal_instances(config: SolverConfig):
+    clone = dataclasses.replace(config)
+    assert stable_hash(payload_of(clone)) == stable_hash(payload_of(config))

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
 import pytest
@@ -12,7 +11,6 @@ from repro.core.loss import (
     loss_rate_from_occupancy,
     zero_buffer_loss_rate,
 )
-from repro.core.marginal import DiscreteMarginal
 from repro.core.source import CutoffFluidSource
 from repro.core.truncated_pareto import TruncatedPareto
 
@@ -28,7 +26,9 @@ class TestExpectedOverflow:
     def test_matches_monte_carlo(self, small_source, rng):
         for occupancy in (0.0, 0.4, 0.8):
             analytic = float(
-                expected_overflow(small_source, service_rate=1.25, buffer_size=1.0, occupancy=occupancy)
+                expected_overflow(
+                    small_source, service_rate=1.25, buffer_size=1.0, occupancy=occupancy
+                )
             )
             empirical = _monte_carlo_overflow(small_source, 1.25, 1.0, occupancy, rng)
             assert analytic == pytest.approx(empirical, rel=0.05)

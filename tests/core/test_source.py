@@ -2,12 +2,10 @@
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
 import pytest
 
-from repro.core.marginal import DiscreteMarginal
 from repro.core.source import CutoffFluidSource, SourcePath
 from repro.core.truncated_pareto import TruncatedPareto
 

@@ -4,11 +4,9 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
 import pytest
 from scipy import integrate
 
-from repro.core.marginal import DiscreteMarginal
 from repro.core.source import CutoffFluidSource
 from repro.core.truncated_pareto import TruncatedPareto
 

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import multiprocessing
 
-import numpy as np
 import pytest
 
 from repro.core.solver import SolverConfig

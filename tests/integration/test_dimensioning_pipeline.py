@@ -7,8 +7,6 @@ dimensioned link must meet the loss target (within Monte Carlo noise).
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
 
 from repro.core.solver import SolverConfig
 from repro.queueing.dimensioning import required_buffer, required_service_rate

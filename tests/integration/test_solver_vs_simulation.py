@@ -8,12 +8,10 @@ cutoffs, utilizations and buffer sizes.
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
 import pytest
 
-from repro.core.marginal import DiscreteMarginal
 from repro.core.solver import FluidQueue, SolverConfig
 from repro.core.source import CutoffFluidSource
 from repro.core.truncated_pareto import TruncatedPareto

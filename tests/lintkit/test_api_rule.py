@@ -1,0 +1,67 @@
+"""API001: ``__all__`` exports must appear in the generated API reference."""
+
+from __future__ import annotations
+
+MODULE = """\
+\"\"\"A documented module.\"\"\"
+
+__all__ = ["solve_fast", "SolveKnobs"]
+
+
+def solve_fast():
+    \"\"\"Solve, but fast.\"\"\"
+
+
+class SolveKnobs:
+    \"\"\"Knobs.\"\"\"
+"""
+
+
+def test_missing_symbol_fires(lint_tree, tmp_path):
+    doc = tmp_path / "docs" / "api.md"
+    doc.parent.mkdir(parents=True)
+    doc.write_text("# API reference\n\n### `solve_fast()`\n", encoding="utf-8")
+    findings = lint_tree({"repro/fastpath.py": MODULE}, select=["API"], api_doc=doc)
+    assert [f.rule for f in findings] == ["API001"]
+    assert "repro.fastpath.SolveKnobs" in findings[0].message
+
+
+def test_documented_symbols_are_clean(lint_tree, tmp_path):
+    doc = tmp_path / "docs" / "api.md"
+    doc.parent.mkdir(parents=True)
+    doc.write_text(
+        "# API reference\n\n### `solve_fast()`\n\n### `SolveKnobs`\n", encoding="utf-8"
+    )
+    assert lint_tree({"repro/fastpath.py": MODULE}, select=["API"], api_doc=doc) == []
+
+
+def test_reexport_listing_counts_as_documented(lint_tree, tmp_path):
+    doc = tmp_path / "docs" / "api.md"
+    doc.parent.mkdir(parents=True)
+    doc.write_text(
+        "## `repro.fastpath`\n\nRe-exports: `solve_fast`, `SolveKnobs`\n",
+        encoding="utf-8",
+    )
+    assert lint_tree({"repro/fastpath.py": MODULE}, select=["API"], api_doc=doc) == []
+
+
+def test_missing_document_skips_quietly(lint_tree, tmp_path):
+    missing = tmp_path / "docs" / "api.md"  # never created
+    assert lint_tree({"repro/fastpath.py": MODULE}, select=["API"], api_doc=missing) == []
+
+
+def test_private_modules_and_underscore_exports_are_exempt(lint_tree, tmp_path):
+    doc = tmp_path / "docs" / "api.md"
+    doc.parent.mkdir(parents=True)
+    doc.write_text("# API reference\n", encoding="utf-8")
+    assert (
+        lint_tree(
+            {
+                "repro/traffic/_private.py": '__all__ = ["helper"]\n\n\ndef helper():\n    pass\n',
+                "repro/traffic/pub.py": '__all__ = ["_internal"]\n\n\ndef _internal():\n    pass\n',
+            },
+            select=["API"],
+            api_doc=doc,
+        )
+        == []
+    )

@@ -1,0 +1,209 @@
+"""CON001/CON002/CON003 fixtures: minimal violating and clean snippets."""
+
+from __future__ import annotations
+
+UNLOCKED_COUNTER = {
+    "repro/serve/stats.py": """\
+    import threading
+
+    class Tracker:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.count = 0
+
+        def record(self):
+            self.count += 1  # written without the lock
+
+        def snapshot(self):
+            with self._lock:
+                return {"count": self.count}
+    """
+}
+
+
+def test_unlocked_shared_write_fires(lint_tree):
+    findings = lint_tree(UNLOCKED_COUNTER, select=["CON001"])
+    assert [f.rule for f in findings] == ["CON001"]
+    assert "Tracker.count" in findings[0].message
+    assert "record" in findings[0].message and "snapshot" in findings[0].message
+
+
+def test_locked_write_is_clean(lint_tree):
+    fixed = UNLOCKED_COUNTER["repro/serve/stats.py"].replace(
+        "            self.count += 1  # written without the lock",
+        "            with self._lock:\n                self.count += 1",
+    )
+    assert fixed != UNLOCKED_COUNTER["repro/serve/stats.py"]
+    assert lint_tree({"repro/serve/stats.py": fixed}, select=["CON001"]) == []
+
+
+def test_init_writes_and_single_method_attrs_are_exempt(lint_tree):
+    assert (
+        lint_tree(
+            {
+                "repro/serve/x.py": """\
+                import threading
+
+                class Solo:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self.shared = 0
+
+                    def only_writer_and_reader(self):
+                        self.private_scratch = 1  # touched in one method only
+                        return self.private_scratch
+                """
+            },
+            select=["CON001"],
+        )
+        == []
+    )
+
+
+def test_lockless_class_is_out_of_scope(lint_tree):
+    # No lock attribute -> the class opted out of the discipline entirely.
+    assert (
+        lint_tree(
+            {
+                "repro/serve/x.py": """\
+                class Plain:
+                    def a(self):
+                        self.n = 1
+
+                    def b(self):
+                        self.n = 2
+                """
+            },
+            select=["CON001"],
+        )
+        == []
+    )
+
+
+NESTED_LOCKS = """\
+import threading
+
+class TwoLocks:
+    def __init__(self):
+        self._alpha = threading.Lock()
+        self._beta = threading.Lock()
+
+    def work(self):
+        with self._alpha:
+            with self._beta:
+                return 1
+"""
+
+
+def test_nested_locks_without_declared_order_fire(lint_tree):
+    findings = lint_tree({"repro/serve/locks.py": NESTED_LOCKS}, select=["CON002"])
+    assert [f.rule for f in findings] == ["CON002"]
+    assert "LOCK_ORDER" in findings[0].message
+
+
+def test_nested_locks_following_declared_order_are_clean(lint_tree):
+    code = 'LOCK_ORDER = ("_alpha", "_beta")\n' + NESTED_LOCKS
+    assert lint_tree({"repro/serve/locks.py": code}, select=["CON002"]) == []
+
+
+def test_nested_locks_against_declared_order_fire(lint_tree):
+    code = 'LOCK_ORDER = ("_beta", "_alpha")\n' + NESTED_LOCKS
+    findings = lint_tree({"repro/serve/locks.py": code}, select=["CON002"])
+    assert [f.rule for f in findings] == ["CON002"]
+    assert "violating LOCK_ORDER" in findings[0].message
+
+
+def test_single_lock_class_never_trips_order_rule(lint_tree):
+    assert (
+        lint_tree(
+            {
+                "repro/serve/locks.py": """\
+                import threading
+
+                class OneLock:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+
+                    def work(self):
+                        with self._lock:
+                            return 1
+                """
+            },
+            select=["CON002"],
+        )
+        == []
+    )
+
+
+def test_blocking_call_under_lock_fires(lint_tree):
+    findings = lint_tree(
+        {
+            "repro/serve/svc.py": """\
+            import threading
+            import time
+
+            class Service:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def slow(self, future):
+                    with self._lock:
+                        time.sleep(0.1)
+                        return future.result(5.0)
+            """
+        },
+        select=["CON003"],
+    )
+    assert [f.rule for f in findings] == ["CON003", "CON003"]
+    assert "time.sleep" in findings[0].message
+    assert "future.result" in findings[1].message
+    assert "slow()" in findings[0].message
+
+
+def test_condition_wait_and_unlocked_blocking_are_clean(lint_tree):
+    assert (
+        lint_tree(
+            {
+                "repro/serve/svc.py": """\
+                import threading
+                import time
+
+                class Service:
+                    def __init__(self):
+                        self._cond = threading.Condition()
+
+                    def park(self):
+                        with self._cond:
+                            self._cond.wait(1.0)  # releases the lock
+
+                    def outside(self, future):
+                        time.sleep(0.1)
+                        return future.result(5.0)
+                """
+            },
+            select=["CON003"],
+        )
+        == []
+    )
+
+
+def test_solver_calls_under_lock_fire(lint_tree):
+    findings = lint_tree(
+        {
+            "repro/exec/eng.py": """\
+            import threading
+
+            class Engine:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.backend = None
+
+                def run(self, tasks):
+                    with self._lock:
+                        return self.backend.run_tasks(tasks)
+            """
+        },
+        select=["CON003"],
+    )
+    assert [f.rule for f in findings] == ["CON003"]
+    assert "run_tasks" in findings[0].message

@@ -1,0 +1,165 @@
+"""FPR001: dataclass fields must be covered by the hashed payload keys."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+COMPLETE = {
+    "repro/core/things.py": """\
+    from dataclasses import dataclass
+
+    @dataclass(frozen=True)
+    class Knobs:
+        alpha: float
+        beta: int = 3
+    """,
+    "repro/core/fingerprint.py": """\
+    from repro.core.things import Knobs
+
+    def payload_of(obj):
+        if isinstance(obj, Knobs):
+            return {"kind": "knobs", "alpha": obj.alpha, "beta": obj.beta}
+        raise TypeError
+    """,
+}
+
+
+def test_complete_payload_is_clean(lint_tree):
+    assert lint_tree(COMPLETE, select=["FPR"]) == []
+
+
+def test_missing_field_in_payload_of_branch_fires(lint_tree):
+    files = dict(COMPLETE)
+    # The literal ends on a 4-space line before its closing quotes, so the
+    # appended text needs only 4 more spaces to land inside the class body.
+    files["repro/core/things.py"] += "    gamma: float = 0.5\n"
+    findings = lint_tree(files, select=["FPR"])
+    assert [f.rule for f in findings] == ["FPR001"]
+    assert "Knobs" in findings[0].message
+    assert "'gamma'" in findings[0].message
+    assert findings[0].path.endswith("fingerprint.py")
+
+
+def test_or_guard_branch_shape_is_recognized(lint_tree):
+    # The real encoder normalizes None to the default config in one branch.
+    findings = lint_tree(
+        {
+            "repro/core/things.py": COMPLETE["repro/core/things.py"]
+            + "    gamma: int = 0\n",
+            "repro/core/fingerprint.py": """\
+            from repro.core.things import Knobs
+
+            def payload_of(obj):
+                if obj is None or isinstance(obj, Knobs):
+                    obj = obj or Knobs(alpha=1.0)
+                    return {"kind": "knobs", "alpha": obj.alpha, "beta": obj.beta}
+                raise TypeError
+            """,
+        },
+        select=["FPR"],
+    )
+    assert [f.rule for f in findings] == ["FPR001"]
+    assert "'gamma'" in findings[0].message
+
+
+def test_payload_method_on_dataclass_is_checked(lint_tree):
+    findings = lint_tree(
+        {
+            "repro/exec/task.py": """\
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class Task:
+                source: object
+                utilization: float
+                seed: int = 0
+
+                def payload(self):
+                    return {
+                        "kind": "task",
+                        "source": repr(self.source),
+                        "utilization": self.utilization,
+                    }
+            """
+        },
+        select=["FPR"],
+    )
+    assert [f.rule for f in findings] == ["FPR001"]
+    assert "'seed'" in findings[0].message
+
+
+def test_extra_payload_keys_are_allowed(lint_tree):
+    # kind/solver_version-style keys carry no matching field; that is fine.
+    files = dict(COMPLETE)
+    files["repro/core/fingerprint.py"] = files["repro/core/fingerprint.py"].replace(
+        '"kind": "knobs",', '"kind": "knobs", "encoder_version": 2,'
+    )
+    assert lint_tree(files, select=["FPR"]) == []
+
+
+def test_class_var_and_unknown_classes_are_ignored(lint_tree):
+    assert (
+        lint_tree(
+            {
+                "repro/core/fingerprint.py": """\
+                from typing import ClassVar
+                from dataclasses import dataclass
+                from somewhere import Alien
+
+                @dataclass
+                class WithConst:
+                    VERSION: ClassVar[int] = 3
+                    value: float
+
+                def payload_of(obj):
+                    if isinstance(obj, WithConst):
+                        return {"kind": "c", "value": obj.value}
+                    if isinstance(obj, Alien):
+                        return {"kind": "alien"}
+                    raise TypeError
+                """
+            },
+            select=["FPR"],
+        )
+        == []
+    )
+
+
+def test_adding_unfingerprinted_field_to_real_solver_config_is_caught(
+    lint_tree, repo_root: Path
+):
+    """The acceptance scenario: grow SolverConfig, forget the encoder."""
+    solver_src = (repo_root / "src/repro/core/solver.py").read_text(encoding="utf-8")
+    needle = "    fft_threshold_bins: int = DEFAULT_FFT_THRESHOLD_BINS\n"
+    assert solver_src.count(needle) == 1, "SolverConfig layout changed; update test"
+    mutated = solver_src.replace(needle, needle + "    shiny_new_knob: int = 0\n")
+
+    files = {
+        "repro/core/solver.py": mutated,
+        "repro/core/fingerprint.py": (repo_root / "src/repro/core/fingerprint.py").read_text(
+            encoding="utf-8"
+        ),
+        "repro/exec/task.py": (repo_root / "src/repro/exec/task.py").read_text(
+            encoding="utf-8"
+        ),
+    }
+    findings = lint_tree(files, select=["FPR"])
+    assert [f.rule for f in findings] == ["FPR001"]
+    assert "SolverConfig" in findings[0].message
+    assert "'shiny_new_knob'" in findings[0].message
+
+
+def test_real_tree_solver_config_is_fully_fingerprinted(lint_tree, repo_root: Path):
+    """Unmutated copies of the real encoder/task/config lint clean."""
+    files = {
+        "repro/core/solver.py": (repo_root / "src/repro/core/solver.py").read_text(
+            encoding="utf-8"
+        ),
+        "repro/core/fingerprint.py": (repo_root / "src/repro/core/fingerprint.py").read_text(
+            encoding="utf-8"
+        ),
+        "repro/exec/task.py": (repo_root / "src/repro/exec/task.py").read_text(
+            encoding="utf-8"
+        ),
+    }
+    assert lint_tree(files, select=["FPR"]) == []

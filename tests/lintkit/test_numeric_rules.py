@@ -1,0 +1,160 @@
+"""NUM001-NUM004 fixtures: minimal violating and clean snippets."""
+
+from __future__ import annotations
+
+
+def test_float_literal_equality_fires(lint_tree):
+    findings = lint_tree(
+        {"repro/mod.py": "def f(x):\n    return x == 0.2 or x != 1.5\n"},
+        select=["NUM001"],
+    )
+    assert [f.rule for f in findings] == ["NUM001", "NUM001"]
+    assert "0.2" in findings[0].message
+
+
+def test_nan_equality_fires(lint_tree):
+    findings = lint_tree(
+        {"repro/mod.py": "import math\n\ndef f(x):\n    return x == math.nan\n"},
+        select=["NUM001"],
+    )
+    assert [f.rule for f in findings] == ["NUM001"]
+    assert "NaN" in findings[0].message
+
+
+def test_exact_sentinels_are_allowed(lint_tree):
+    assert (
+        lint_tree(
+            {
+                "repro/mod.py": """\
+                import math
+
+                def f(x, cutoff):
+                    if x == 0.0 or x == -0.0:
+                        return 0
+                    if cutoff == math.inf:
+                        return 1
+                    return x < 0.2 and x >= 1.5  # ordering comparisons are fine
+                """
+            },
+            select=["NUM001"],
+        )
+        == []
+    )
+
+
+def test_global_numpy_rng_fires(lint_tree):
+    findings = lint_tree(
+        {
+            "repro/traffic/gen.py": """\
+            import numpy as np
+
+            def noise(n):
+                np.random.seed(42)
+                return np.random.standard_normal(n)
+            """
+        },
+        select=["NUM002"],
+    )
+    assert [f.rule for f in findings] == ["NUM002", "NUM002"]
+    assert "np.random.seed" in findings[0].message
+
+
+def test_explicit_generator_is_clean(lint_tree):
+    assert (
+        lint_tree(
+            {
+                "repro/traffic/gen.py": """\
+                import numpy as np
+
+                def noise(n, rng: np.random.Generator | None = None):
+                    rng = rng if rng is not None else np.random.default_rng(7)
+                    return rng.standard_normal(n)
+                """
+            },
+            select=["NUM002"],
+        )
+        == []
+    )
+
+
+def test_wall_clock_read_fires(lint_tree):
+    findings = lint_tree(
+        {"repro/core/hot.py": "import time\n\ndef stamp():\n    return time.time()\n"},
+        select=["NUM003"],
+    )
+    assert [f.rule for f in findings] == ["NUM003"]
+    assert "perf_counter" in findings[0].message
+
+
+def test_monotonic_clocks_are_clean(lint_tree):
+    assert (
+        lint_tree(
+            {
+                "repro/core/hot.py": """\
+                import time
+
+                def span():
+                    start = time.perf_counter()
+                    deadline = time.monotonic() + 5.0
+                    return start, deadline
+                """
+            },
+            select=["NUM003"],
+        )
+        == []
+    )
+
+
+def test_dtype_downcast_in_core_fires(lint_tree):
+    findings = lint_tree(
+        {
+            "repro/core/grid.py": """\
+            import numpy as np
+
+            def shrink(a):
+                b = a.astype(np.float32)
+                c = np.zeros(4, dtype="int16")
+                return b, c
+            """
+        },
+        select=["NUM004"],
+    )
+    assert [f.rule for f in findings] == ["NUM004", "NUM004"]
+    assert "float32" in findings[0].message
+    assert "int16" in findings[1].message
+
+
+def test_dtype_downcast_outside_core_is_out_of_scope(lint_tree):
+    # Display/reporting layers may narrow; only repro.core is fenced.
+    assert (
+        lint_tree(
+            {
+                "repro/experiments/plot.py": """\
+                import numpy as np
+
+                def shrink(a):
+                    return a.astype(np.float32)
+                """
+            },
+            select=["NUM004"],
+        )
+        == []
+    )
+
+
+def test_float64_in_core_is_clean(lint_tree):
+    assert (
+        lint_tree(
+            {
+                "repro/core/grid.py": """\
+                import numpy as np
+
+                def widen(a):
+                    b = np.asarray(a, dtype=np.float64)
+                    return b.astype(np.float64)
+                """
+            },
+            select=["NUM004"],
+        )
+        == []
+    )

@@ -167,3 +167,74 @@ class TestShutdown:
         assert snap["depth"] == 0
         assert snap["batches"] >= 2
         assert snap["max_batch"] <= 2
+
+
+class TestSnapshotLocking:
+    """Regression tests for the CON001 finding: counters shared between the
+    dispatcher thread and HTTP-thread ``snapshot`` callers must be updated
+    and read under the batcher's condition lock."""
+
+    def test_snapshot_exposes_dispatch_errors(self):
+        batcher = MicroBatcher(lambda batch: None, batch_size=1, batch_delay_s=0.0)
+        batcher.close(drain=True)
+        snap = batcher.snapshot()
+        assert snap["dispatch_errors"] == 0
+
+    def test_snapshot_counts_errors(self):
+        def explode(batch):
+            raise RuntimeError("boom")
+
+        batcher = MicroBatcher(explode, batch_size=1, batch_delay_s=0.0)
+        batcher.submit("a")
+        batcher.close(drain=True)
+        assert batcher.snapshot()["dispatch_errors"] == 1
+
+    def test_counters_update_before_dispatch_completes(self):
+        # Counters are bumped under the lock *before* the unlocked dispatch
+        # call, so a snapshot taken while dispatch blocks already sees them.
+        gate = threading.Event()
+        collector = _Collector(gate=gate)
+        batcher = MicroBatcher(collector, batch_size=2, batch_delay_s=5.0)
+        try:
+            batcher.submit("a")
+            batcher.submit("b")
+            deadline = time.monotonic() + 5.0
+            while batcher.snapshot()["batches"] < 1:
+                if time.monotonic() > deadline:
+                    raise AssertionError("dispatcher never picked up the batch")
+                time.sleep(0.002)
+            snap = batcher.snapshot()
+            assert snap["items_dispatched"] == 2
+            assert snap["max_batch"] == 2
+            assert collector.batches == []  # dispatch itself is still parked
+        finally:
+            gate.set()
+            batcher.close(drain=True)
+
+    def test_concurrent_snapshots_stay_consistent(self):
+        collector = _Collector()
+        batcher = MicroBatcher(collector, batch_size=4, batch_delay_s=0.0)
+        stop = threading.Event()
+        seen: list[dict] = []
+
+        def poll():
+            while not stop.is_set():
+                seen.append(batcher.snapshot())
+
+        poller = threading.Thread(target=poll)
+        poller.start()
+        try:
+            for item in range(200):
+                batcher.submit(item)
+            batcher.close(drain=True)
+        finally:
+            stop.set()
+            poller.join(timeout=5)
+        final = batcher.snapshot()
+        assert final["items_dispatched"] == 200
+        assert final["dispatch_errors"] == 0
+        # Monotone counters: no snapshot may run backwards or overshoot.
+        last = 0
+        for snap in seen:
+            assert last <= snap["items_dispatched"] <= 200
+            last = snap["items_dispatched"]

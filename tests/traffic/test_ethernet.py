@@ -12,7 +12,6 @@ from repro.traffic.ethernet import (
     BELLCORE_MEAN_RATE,
     synthesize_bellcore_trace,
 )
-from repro.traffic.video import synthesize_mtv_trace
 
 
 class TestSynthesis:

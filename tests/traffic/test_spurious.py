@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.analysis.hurst import periodogram_hurst, variance_time_hurst
+from repro.analysis.hurst import variance_time_hurst
 from repro.analysis.whittle import whittle_hurst
 from repro.traffic.spurious import (
     ar1_process,
