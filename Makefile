@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench figures examples clean
+.PHONY: install test lint fuzz fuzz-deep bench figures examples clean
 
 install:
 	$(PYTHON) -m pip install -e .[test]
@@ -13,6 +13,15 @@ test:
 # Repo-specific invariant lint (fingerprint/concurrency/numeric/API rules).
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro lint src/repro
+
+# Seeded differential/metamorphic verification sweep (same 200 cases the
+# test suite runs); failures are minimized and persisted to tests/corpus/.
+fuzz:
+	PYTHONPATH=src $(PYTHON) -m repro fuzz --cases 200 --seed 0
+
+# The nightly-scale sweep (5000 cases).  Expect ~10 minutes cold.
+fuzz-deep:
+	PYTHONPATH=src $(PYTHON) -m repro fuzz --cases 5000 --seed 0
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt

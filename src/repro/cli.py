@@ -27,6 +27,15 @@ Subcommands
     (``repro-lrd lint src/repro --format json``): fingerprint
     completeness, concurrency discipline, numerical hygiene and
     API-doc drift.  Exits 1 on any finding; CI gates on it.
+``fuzz``
+    Run the differential/metamorphic verification harness
+    (``repro-lrd fuzz --cases 200 --seed 0``): seeded stratified
+    scenarios checked by the oracle battery (spectral vs direct kernel,
+    bound ordering, solver vs Monte Carlo, solver vs Markov) and the
+    paper's metamorphic relations.  Failures are minimized and persisted
+    as JSON under ``--corpus-dir`` (default ``tests/corpus``); replay
+    the persisted corpus with ``repro-lrd fuzz --replay``.  Exits 1 on
+    any failure; the nightly ``fuzz-deep`` CI job runs 5000 cases.
 
 Execution-engine flags (``figure`` and ``solve``)
 -------------------------------------------------
@@ -177,6 +186,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the rule catalogue and exit",
     )
 
+    fuzz = sub.add_parser(
+        "fuzz", help="run the differential/metamorphic verification harness"
+    )
+    fuzz.add_argument("--cases", type=int, default=200, metavar="N",
+                      help="number of generated scenarios (default: 200)")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="master seed of the deterministic case stream")
+    fuzz.add_argument("--start", type=int, default=0, metavar="INDEX",
+                      help="first case index (shard long runs across workers)")
+    fuzz.add_argument(
+        "--check", action="append", default=None, metavar="NAME", dest="fuzz_checks",
+        help="run only this check (repeatable; see --list-checks)",
+    )
+    fuzz.add_argument("--list-checks", action="store_true",
+                      help="print the check battery and exit")
+    fuzz.add_argument(
+        "--corpus-dir", default="tests/corpus", metavar="DIR",
+        help="failure-corpus directory (default: tests/corpus)",
+    )
+    fuzz.add_argument("--no-corpus", action="store_true",
+                      help="do not persist failure records")
+    fuzz.add_argument("--no-minimize", action="store_true",
+                      help="persist failing scenarios as generated, unshrunk")
+    fuzz.add_argument(
+        "--max-failures", type=int, default=25, metavar="N",
+        help="stop after this many failures (default: 25)",
+    )
+    fuzz.add_argument(
+        "--replay", action="store_true",
+        help="replay the persisted corpus instead of generating cases",
+    )
+    _add_engine_flags(fuzz)
+
     dimension = sub.add_parser(
         "dimension", help="effective bandwidth / multiplexing gain for an on/off source"
     )
@@ -310,6 +352,46 @@ def _run_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_fuzz(args: argparse.Namespace) -> int:
+    """Run (or replay) the verification harness; exit 0 only when clean."""
+    from repro.verify import CheckContext, default_checks, run_corpus, run_fuzz
+
+    if args.list_checks:
+        for check in default_checks():
+            tag = "slow" if check.expensive else "fast"
+            print(f"  {check.name:<26} {check.kind:<12} [{tag}]")
+        return 0
+    with _build_engine(args) as engine:
+        ctx = CheckContext(solve=engine.solve)
+        if args.replay:
+            report = run_corpus(args.corpus_dir, ctx=ctx)
+        else:
+            def progress(done: int, total: int, case: object) -> None:
+                if done % 50 == 0 or done == total:
+                    print(f"  fuzz [{done}/{total}]", file=sys.stderr, flush=True)
+
+            try:
+                report = run_fuzz(
+                    cases=args.cases,
+                    seed=args.seed,
+                    start=args.start,
+                    check_names=args.fuzz_checks,
+                    ctx=ctx,
+                    corpus_dir=None if args.no_corpus else args.corpus_dir,
+                    minimize=not args.no_minimize,
+                    max_failures=args.max_failures,
+                    progress=progress,
+                )
+            except ValueError as error:
+                print(f"repro-lrd: {error}", file=sys.stderr)
+                return 2
+        print(report.summary())
+        _print_engine_summary(engine)
+    for path in report.corpus_paths:
+        print(f"corpus: wrote {path}", file=sys.stderr)
+    return 1 if report.total_failures else 0
+
+
 def _run_lint(args: argparse.Namespace) -> int:
     """Run the lintkit rules; exit 0 only when the tree is clean."""
     from pathlib import Path
@@ -378,6 +460,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "lint":
         return _run_lint(args)
+
+    if args.command == "fuzz":
+        return _run_fuzz(args)
 
     if args.command == "figure":
         with _build_engine(args) as engine:

@@ -1,0 +1,71 @@
+"""Differential & metamorphic verification harness.
+
+The paper's central claims are *relations* — the bounds bracket the true
+loss rate (Prop. II.1), correlation beyond the horizon is irrelevant
+(Eq. 26), ``H = (3 - alpha)/2`` ties the model's knobs together — so this
+package checks them as machine-verified properties over randomly
+generated scenarios instead of hand-picked points: a seeded stratified
+:class:`~repro.verify.scenario.ScenarioGenerator`, differential
+:mod:`oracles <repro.verify.oracles>` (spectral vs direct kernel, bound
+ordering under refinement, solver vs Monte Carlo, solver vs Markov),
+:mod:`metamorphic relations <repro.verify.metamorphic>` (monotonicity,
+relabeling invariance, shuffle-beyond-horizon invariance, Hurst
+recovery), plus JSON failure-corpus persistence with greedy case
+minimization and the ``repro fuzz`` CLI entry point.
+"""
+
+from repro.verify.checks import CheckContext, CheckOutcome, VerifyCheck
+from repro.verify.corpus import FailureCorpus, FailureRecord, minimize_scenario
+from repro.verify.metamorphic import (
+    BufferMonotonicityRelation,
+    HurstRecoveryRelation,
+    RateRelabelInvarianceRelation,
+    ServiceMonotonicityRelation,
+    ShuffleInvarianceRelation,
+)
+from repro.verify.oracles import (
+    BoundOrderingOracle,
+    MarkovEquivalenceOracle,
+    MonteCarloOracle,
+    SpectralDirectOracle,
+)
+from repro.verify.runner import (
+    CaseResult,
+    FuzzReport,
+    default_checks,
+    run_corpus,
+    run_fuzz,
+)
+from repro.verify.scenario import (
+    FUZZ_SOLVER_CONFIG,
+    REGIMES,
+    Scenario,
+    ScenarioGenerator,
+)
+
+__all__ = [
+    "FUZZ_SOLVER_CONFIG",
+    "REGIMES",
+    "BoundOrderingOracle",
+    "BufferMonotonicityRelation",
+    "CaseResult",
+    "CheckContext",
+    "CheckOutcome",
+    "FailureCorpus",
+    "FailureRecord",
+    "FuzzReport",
+    "HurstRecoveryRelation",
+    "MarkovEquivalenceOracle",
+    "MonteCarloOracle",
+    "RateRelabelInvarianceRelation",
+    "Scenario",
+    "ScenarioGenerator",
+    "ServiceMonotonicityRelation",
+    "ShuffleInvarianceRelation",
+    "SpectralDirectOracle",
+    "VerifyCheck",
+    "default_checks",
+    "minimize_scenario",
+    "run_corpus",
+    "run_fuzz",
+]

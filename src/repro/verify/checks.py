@@ -1,0 +1,141 @@
+"""Check plumbing shared by the oracles and the metamorphic relations.
+
+Every verification property is a :class:`VerifyCheck`: it declares a
+``name``/``kind``, decides whether it :meth:`~VerifyCheck.applies` to a
+scenario, and returns a :class:`CheckOutcome`.  Checks never call the
+solver or the simulators directly — they go through the
+:class:`CheckContext` hooks, which buys two things at once:
+
+* **cached solve reuse** — the runner routes ``ctx.solve`` through a
+  :class:`~repro.exec.engine.SweepEngine`, so the base solve a scenario
+  needs is computed once even though four different checks ask for it,
+  and a re-run of the same seed replays entirely from the persistent
+  solve cache;
+* **fault injection** — the unit tests replace a hook with a lying
+  implementation to prove each check actually fires on a violation
+  (no always-green oracles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.core.results import LossRateResult
+from repro.core.source import CutoffFluidSource
+from repro.exec.task import SolveTask
+from repro.verify.scenario import Scenario
+
+__all__ = [
+    "CheckContext",
+    "CheckOutcome",
+    "VerifyCheck",
+]
+
+
+@dataclass(frozen=True)
+class CheckOutcome:
+    """Result of running one check against one scenario.
+
+    ``passed`` is meaningful only when ``skipped`` is False; ``details``
+    carries the numeric evidence (bounds, estimates, tolerances) that a
+    failure report persists alongside the scenario.
+    """
+
+    check: str
+    passed: bool
+    skipped: bool = False
+    message: str = ""
+    details: dict = field(default_factory=dict)
+
+    @classmethod
+    def ok(cls, check: str, **details: float) -> "CheckOutcome":
+        return cls(check=check, passed=True, details=dict(details))
+
+    @classmethod
+    def fail(cls, check: str, message: str, **details: float) -> "CheckOutcome":
+        return cls(check=check, passed=False, message=message, details=dict(details))
+
+    @classmethod
+    def skip(cls, check: str, message: str = "") -> "CheckOutcome":
+        return cls(check=check, passed=True, skipped=True, message=message)
+
+
+class CheckContext:
+    """Execution hooks a check runs against.
+
+    Parameters
+    ----------
+    solve:
+        ``SolveTask -> LossRateResult``; the runner passes the sweep
+        engine's cached solve, the default runs the task inline.
+    rate_trace:
+        ``(source, duration, bin_width, rng) -> np.ndarray``; sampling
+        hook for the trace-driven relations.
+    """
+
+    def __init__(
+        self,
+        solve: Callable[[SolveTask], LossRateResult] | None = None,
+        rate_trace: Callable[..., np.ndarray] | None = None,
+    ) -> None:
+        self.solve = solve if solve is not None else _inline_solve
+        self.rate_trace = rate_trace if rate_trace is not None else _sample_rate_trace
+
+    def solve_scenario(self, scenario: Scenario, **overrides: object) -> LossRateResult:
+        """Solve a scenario (or a variant of it) through the solve hook.
+
+        ``overrides`` replace scenario fields (``source``, ``utilization``,
+        ``normalized_buffer``, ``config``) before building the task, which
+        is how metamorphic relations derive their follow-up inputs.
+        """
+        task = SolveTask(
+            source=overrides.get("source", scenario.source),  # type: ignore[arg-type]
+            utilization=float(overrides.get("utilization", scenario.utilization)),  # type: ignore[arg-type]
+            normalized_buffer=float(
+                overrides.get("normalized_buffer", scenario.normalized_buffer)  # type: ignore[arg-type]
+            ),
+            config=overrides.get("config", scenario.config),  # type: ignore[arg-type]
+        )
+        return self.solve(task)
+
+    def rng(self, scenario: Scenario, salt: int) -> np.random.Generator:
+        """Deterministic per-(scenario, purpose) random stream.
+
+        Distinct ``salt`` values give independent streams, so e.g. the
+        Monte Carlo oracle and the shuffle relation never share draws.
+        """
+        return np.random.default_rng(
+            np.random.SeedSequence(entropy=scenario.seed, spawn_key=(int(salt),))
+        )
+
+
+def _inline_solve(task: SolveTask) -> LossRateResult:
+    return task.run()
+
+
+def _sample_rate_trace(
+    source: CutoffFluidSource,
+    duration: float,
+    bin_width: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    return source.rate_trace(duration, bin_width, rng)
+
+
+class VerifyCheck(Protocol):
+    """The interface every oracle/metamorphic relation implements."""
+
+    name: str
+    kind: str  # "oracle" | "metamorphic"
+    expensive: bool
+
+    def applies(self, scenario: Scenario) -> bool:
+        """True when the property is meaningful for this scenario."""
+        ...
+
+    def run(self, scenario: Scenario, ctx: CheckContext) -> CheckOutcome:
+        """Evaluate the property; must be deterministic given (scenario, ctx)."""
+        ...

@@ -1,0 +1,136 @@
+"""Property-based edge-case tests for :class:`TruncatedPareto`.
+
+The verification harness stratifies its scenarios toward the fragile
+corners of the law's parameter space; this suite attacks the same
+corners analytically with Hypothesis — ``alpha`` pressed against both
+ends of ``(1, 2)``, cutoffs barely above ``theta`` — and checks the
+internal consistency the closed forms must satisfy:
+
+* quantile/cdf round-trips on both the continuous part and the atom,
+* the closed-form mean against a numerical integral of the ccdf
+  (``E[T] = integral of Pr{T > t}``),
+* inverse-transform sampling determinism per seed and agreement with the
+  cdf in distribution.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.truncated_pareto import TruncatedPareto
+
+# Strategies deliberately include the open-interval edges alpha -> 1+ and
+# alpha -> 2- and cutoffs within a hair of theta.
+alphas = st.one_of(
+    st.floats(min_value=1.0005, max_value=1.02),
+    st.floats(min_value=1.98, max_value=1.9995),
+    st.floats(min_value=1.05, max_value=1.95),
+)
+thetas = st.floats(min_value=1e-3, max_value=10.0)
+cutoff_factors = st.one_of(
+    st.floats(min_value=1.0001, max_value=1.01),  # T_c ~ theta: huge atom
+    st.floats(min_value=1.01, max_value=1e5),
+)
+
+
+@st.composite
+def laws(draw, finite_cutoff: bool | None = None) -> TruncatedPareto:
+    theta = draw(thetas)
+    finite = draw(st.booleans()) if finite_cutoff is None else finite_cutoff
+    cutoff = theta * draw(cutoff_factors) if finite else math.inf
+    return TruncatedPareto(theta=theta, alpha=draw(alphas), cutoff=cutoff)
+
+
+@given(law=laws(), q=st.floats(min_value=0.0, max_value=0.999999))
+def test_cdf_quantile_round_trip(law: TruncatedPareto, q: float) -> None:
+    t = law.quantile(q)
+    if law.cutoff != math.inf and t >= law.cutoff:
+        # q landed in the atom: the quantile saturates at the cutoff and
+        # the cdf there must cover q (it jumps over it by the atom mass).
+        assert t == law.cutoff
+        assert law.cdf(t) >= q - 1e-12
+        assert law.cdf_left(t) <= q + 1e-12
+    else:
+        assert 0.0 <= t < law.cutoff
+        assert math.isclose(law.cdf(t), q, rel_tol=1e-9, abs_tol=1e-12)
+
+
+@given(law=laws())
+@settings(max_examples=60)
+def test_quantile_cdf_round_trip_on_a_time_grid(law: TruncatedPareto) -> None:
+    top = law.cutoff if law.cutoff != math.inf else law.theta * 1e4
+    for frac in (1e-6, 1e-3, 0.1, 0.5, 0.9, 0.999999):
+        t = frac * top
+        q = law.cdf(t)
+        if q >= law.cdf_left(law.cutoff):
+            continue  # inside the atom: not invertible, covered above
+        if law.sf(t) < 1e-8:
+            continue  # 1 - q underflows float resolution; round trip is moot
+        assert math.isclose(law.quantile(q), t, rel_tol=1e-6, abs_tol=1e-12)
+
+
+@given(law=laws(finite_cutoff=True))
+@settings(max_examples=60)
+def test_mean_matches_numerical_ccdf_integral(law: TruncatedPareto) -> None:
+    # E[T] = integral_0^cutoff Pr{T > t} dt.  A log-spaced grid resolves
+    # the near-origin decay even when cutoff/theta spans five decades.
+    grid = np.concatenate(
+        [[0.0], np.geomspace(law.cutoff * 1e-9, law.cutoff, 20001)]
+    )
+    numeric = float(np.trapezoid(law.sf(grid), grid))
+    assert math.isclose(numeric, law.mean, rel_tol=5e-3)
+
+
+@given(law=laws(finite_cutoff=True))
+@settings(max_examples=60)
+def test_second_moment_matches_numerical_integral(law: TruncatedPareto) -> None:
+    # E[T^2] = integral_0^cutoff 2 t Pr{T > t} dt.
+    grid = np.concatenate(
+        [[0.0], np.geomspace(law.cutoff * 1e-9, law.cutoff, 20001)]
+    )
+    numeric = float(np.trapezoid(2.0 * grid * law.sf(grid), grid))
+    assert math.isclose(numeric, law.second_moment, rel_tol=5e-3)
+
+
+@given(law=laws(finite_cutoff=True))
+@settings(max_examples=40)
+def test_atom_mass_consistency(law: TruncatedPareto) -> None:
+    atom = law.atom_at_cutoff
+    assert 0.0 < atom < 1.0
+    # sf is right-continuous at the cutoff; sf_inclusive keeps the atom.
+    assert law.sf(law.cutoff) == 0.0
+    assert math.isclose(law.sf_inclusive(law.cutoff), atom, rel_tol=1e-12)
+    # The tiny-cutoff regime concentrates: as cutoff -> theta the atom
+    # must dominate the continuous part monotonically.
+    wider = law.with_cutoff(law.cutoff * 2.0)
+    assert wider.atom_at_cutoff < atom
+
+
+@given(law=laws(), seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=40)
+def test_sampler_is_deterministic_per_seed(law: TruncatedPareto, seed: int) -> None:
+    first = law.sample(256, np.random.default_rng(seed))
+    second = law.sample(256, np.random.default_rng(seed))
+    np.testing.assert_array_equal(first, second)
+    assert np.all(first >= 0.0)
+    if law.cutoff != math.inf:
+        assert np.all(first <= law.cutoff)
+
+
+@given(law=laws(), seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=25)
+def test_samples_match_cdf_in_distribution(law: TruncatedPareto, seed: int) -> None:
+    # Inverse-transform sampling: cdf_left(T) ~ Uniform on the continuous
+    # part, so empirical quantile levels must track the cdf within
+    # Dvoretzky-Kiefer-Wolfowitz-scale noise.
+    samples = law.sample(4096, np.random.default_rng(seed))
+    for q in (0.1, 0.5, 0.9):
+        t = law.quantile(q)
+        if law.cutoff != math.inf and t >= law.cutoff:
+            continue
+        empirical = float(np.mean(samples <= t))
+        assert abs(empirical - q) < 0.05

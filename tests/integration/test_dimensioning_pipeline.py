@@ -7,10 +7,13 @@ dimensioned link must meet the loss target (within Monte Carlo noise).
 
 from __future__ import annotations
 
+import pytest
 
 from repro.core.solver import SolverConfig
 from repro.queueing.dimensioning import required_buffer, required_service_rate
 from repro.queueing.fluid_sim import simulate_source_queue
+
+pytestmark = pytest.mark.slow
 
 FAST = SolverConfig(relative_gap=0.2, max_iterations=40_000)
 

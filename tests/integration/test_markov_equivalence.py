@@ -18,6 +18,8 @@ from repro.core.truncated_pareto import TruncatedPareto
 from repro.queueing.markov import fit_hyperexponential, renewal_markov_source
 from repro.queueing.mmfq import mmfq_loss_rate
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.mark.parametrize("cutoff", [1.0, 5.0])
 def test_markov_model_matches_cutoff_model(onoff_marginal, cutoff):

@@ -17,6 +17,8 @@ from repro.experiments.sweeps import sweep_cutoff
 from repro.queueing.fluid_sim import simulate_trace_queue_multi
 from repro.traffic.shuffle import shuffle_trace
 
+pytestmark = pytest.mark.slow
+
 FAST = SolverConfig(relative_gap=0.2, max_iterations=30_000)
 
 

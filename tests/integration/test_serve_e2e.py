@@ -10,8 +10,12 @@ from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
 
+import pytest
+
 from repro.exec import ProcessPoolBackend, SolveCache, SweepEngine
 from repro.serve import QueryService, ServeClient, make_server
+
+pytestmark = pytest.mark.slow
 
 QUICK = {"hurst": 0.7, "cutoff": 2.0, "initial_bins": 32, "max_bins": 64,
          "relative_gap": 0.5}

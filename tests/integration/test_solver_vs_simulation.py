@@ -17,6 +17,8 @@ from repro.core.source import CutoffFluidSource
 from repro.core.truncated_pareto import TruncatedPareto
 from repro.queueing.fluid_sim import simulate_source_queue
 
+pytestmark = pytest.mark.slow
+
 CONFIG = SolverConfig(relative_gap=0.1)
 
 

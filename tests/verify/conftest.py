@@ -1,0 +1,38 @@
+"""Fixtures for the verification-harness tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.marginal import DiscreteMarginal
+from repro.core.source import CutoffFluidSource
+from repro.core.truncated_pareto import TruncatedPareto
+from repro.verify import FUZZ_SOLVER_CONFIG, CheckContext, Scenario
+
+
+@pytest.fixture
+def lossy_scenario() -> Scenario:
+    """A hand-picked scenario with comfortably measurable loss.
+
+    On/off source at 90 % utilization with a small buffer: the solver,
+    the Monte Carlo simulator and the Markov comparator all see loss
+    rates around 10^-1, far above every oracle's resolution floor.
+    """
+    source = CutoffFluidSource(
+        marginal=DiscreteMarginal(rates=[0.0, 2.0], probs=[0.5, 0.5]),
+        interarrival=TruncatedPareto(theta=0.05, alpha=1.4, cutoff=2.0),
+    )
+    return Scenario(
+        source=source,
+        utilization=0.9,
+        normalized_buffer=0.1,
+        config=FUZZ_SOLVER_CONFIG,
+        seed=20260806,
+        regime="alpha_mid",
+    )
+
+
+@pytest.fixture
+def ctx() -> CheckContext:
+    """Plain inline-solving context."""
+    return CheckContext()

@@ -1,0 +1,131 @@
+"""Failure-corpus JSON round-trips and greedy scenario minimization."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.verify import (
+    CheckContext,
+    CheckOutcome,
+    FailureCorpus,
+    FailureRecord,
+    Scenario,
+    ScenarioGenerator,
+    minimize_scenario,
+)
+from repro.verify.corpus import _complexity
+
+
+class PredicateCheck:
+    """Test double: fails exactly where ``predicate`` says so."""
+
+    kind = "oracle"
+    expensive = False
+
+    def __init__(self, predicate, name="predicate_check"):
+        self.predicate = predicate
+        self.name = name
+        self.runs = 0
+
+    def applies(self, scenario: Scenario) -> bool:
+        return True
+
+    def run(self, scenario: Scenario, ctx: CheckContext) -> CheckOutcome:
+        self.runs += 1
+        if self.predicate(scenario):
+            return CheckOutcome.fail(self.name, "injected predicate violation")
+        return CheckOutcome.ok(self.name)
+
+
+@pytest.fixture
+def scenario() -> Scenario:
+    # A many-level case: plenty of simplification headroom.
+    return ScenarioGenerator(seed=4, regimes=("many_level",)).generate(0)
+
+
+def make_record(scenario: Scenario) -> FailureRecord:
+    return FailureRecord(
+        check="bound_ordering",
+        message="synthetic failure",
+        scenario=scenario.payload(),
+        original=None,
+        details={"lower": 0.5, "upper": 0.25},
+    )
+
+
+def test_record_round_trips_through_json(scenario):
+    record = make_record(scenario)
+    wire = json.loads(json.dumps(record.to_json()))
+    restored = FailureRecord.from_json(wire)
+    assert restored == record
+    assert restored.restore_scenario().payload() == scenario.payload()
+
+
+def test_record_rejects_unknown_format(scenario):
+    payload = make_record(scenario).to_json()
+    payload["format"] = 99
+    with pytest.raises(ValueError, match="format"):
+        FailureRecord.from_json(payload)
+
+
+def test_corpus_save_is_content_addressed_and_idempotent(tmp_path, scenario):
+    corpus = FailureCorpus(tmp_path / "corpus")
+    record = make_record(scenario)
+    first = corpus.save(record)
+    second = corpus.save(record)
+    assert first == second
+    assert len(corpus) == 1
+    assert first.name.startswith("bound_ordering-")
+    other = make_record(replace(scenario, utilization=0.75))
+    corpus.save(other)
+    assert len(corpus) == 2
+    loaded = corpus.load()
+    assert len(loaded) == 2
+    assert {r.restore_scenario().utilization for r in loaded} == {
+        scenario.utilization,
+        0.75,
+    }
+
+
+def test_empty_corpus_loads_empty(tmp_path):
+    corpus = FailureCorpus(tmp_path / "missing")
+    assert len(corpus) == 0
+    assert corpus.load() == []
+
+
+def test_minimizer_snaps_everything_on_an_always_failing_check(scenario):
+    check = PredicateCheck(lambda s: True)
+    shrunk = minimize_scenario(scenario, check, CheckContext())
+    law = shrunk.source.interarrival
+    assert shrunk.source.marginal.size == 2
+    assert law.alpha == 1.5
+    assert law.theta == 0.05
+    assert shrunk.utilization == 0.8
+    assert shrunk.normalized_buffer == 0.1
+    assert _complexity(shrunk) < _complexity(scenario)
+
+
+def test_minimizer_preserves_the_failure(scenario):
+    # Fails only at high utilization: the minimizer may snap utilization
+    # to 0.8 (still failing) but must never cross below the threshold.
+    check = PredicateCheck(lambda s: s.utilization >= 0.7)
+    assert scenario.utilization >= 0.7, "fixture must start in the failing region"
+    shrunk = minimize_scenario(scenario, check, CheckContext())
+    assert shrunk.utilization >= 0.7
+    assert check.predicate(shrunk)
+
+
+def test_minimizer_returns_original_when_nothing_simpler_fails(scenario):
+    target = scenario.case_id()
+    check = PredicateCheck(lambda s: s.case_id() == target)
+    shrunk = minimize_scenario(scenario, check, CheckContext())
+    assert shrunk is scenario
+
+
+def test_minimizer_respects_evaluation_budget(scenario):
+    check = PredicateCheck(lambda s: True)
+    minimize_scenario(scenario, check, CheckContext(), max_evaluations=3)
+    assert check.runs <= 3

@@ -1,0 +1,93 @@
+"""The in-suite acceptance sweep plus the ``repro fuzz`` CLI surface.
+
+The 200-case sweep is the PR's headline acceptance criterion: the full
+default battery over the seed-0 stream must complete with zero failures.
+It runs through the real CLI entry point so the engine wiring (cached
+solves, corpus flags, exit codes) is exercised too.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(monkeypatch, tmp_path):
+    """Keep CLI runs from touching the user's real solve cache."""
+    monkeypatch.setenv("REPRO_LRD_CACHE_DIR", str(tmp_path / "fuzz-cache"))
+
+
+class TestParser:
+    def test_fuzz_defaults(self):
+        args = build_parser().parse_args(["fuzz"])
+        assert args.cases == 200
+        assert args.seed == 0
+        assert args.start == 0
+        assert args.fuzz_checks is None
+        assert args.corpus_dir == "tests/corpus"
+        assert args.no_corpus is False
+        assert args.no_minimize is False
+        assert args.max_failures == 25
+        assert args.replay is False
+
+    def test_fuzz_check_flag_accumulates(self):
+        args = build_parser().parse_args(
+            ["fuzz", "--check", "bound_ordering", "--check", "buffer_monotone"]
+        )
+        assert args.fuzz_checks == ["bound_ordering", "buffer_monotone"]
+
+
+class TestCli:
+    def test_list_checks(self, capsys):
+        assert main(["fuzz", "--list-checks"]) == 0
+        out = capsys.readouterr().out
+        for name in ("spectral_vs_direct", "hurst_recovery", "solver_vs_markov"):
+            assert name in out
+
+    def test_unknown_check_is_an_error(self, capsys):
+        assert main(["fuzz", "--cases", "1", "--check", "bogus", "--no-corpus"]) == 2
+        assert "unknown checks" in capsys.readouterr().err
+
+    def test_small_sweep_writes_no_corpus_when_clean(self, tmp_path, capsys):
+        corpus_dir = tmp_path / "corpus"
+        code = main(
+            ["fuzz", "--cases", "6", "--seed", "0", "--corpus-dir", str(corpus_dir)]
+        )
+        assert code == 0
+        assert not list(corpus_dir.glob("*.json")) if corpus_dir.is_dir() else True
+        out = capsys.readouterr().out
+        assert "fuzz: 6 cases, seed 0, 0 failure(s)" in out
+
+    def test_replay_of_empty_corpus_is_clean(self, tmp_path, capsys):
+        code = main(["fuzz", "--replay", "--corpus-dir", str(tmp_path / "empty")])
+        assert code == 0
+        assert "0 failure(s)" in capsys.readouterr().out
+
+    @pytest.mark.fuzz
+    def test_default_200_case_sweep_is_clean(self, capsys):
+        # Acceptance criterion: `repro fuzz --cases 200 --seed 0` completes
+        # clean in-suite (cached engine solves keep this inside the tier-1
+        # time budget).
+        code = main(["fuzz", "--cases", "200", "--seed", "0", "--no-corpus"])
+        out = capsys.readouterr().out
+        assert code == 0, f"fuzz sweep reported failures:\n{out}"
+        assert "fuzz: 200 cases, seed 0, 0 failure(s)" in out
+        # Every check in the battery must have actually judged cases —
+        # a sweep that silently skips everything proves nothing.
+        for name in (
+            "spectral_vs_direct",
+            "bound_ordering",
+            "buffer_monotone",
+            "service_monotone",
+            "relabel_invariance",
+            "solver_vs_monte_carlo",
+            "solver_vs_markov",
+            "shuffle_beyond_horizon",
+            "hurst_recovery",
+        ):
+            line = next(ln for ln in out.splitlines() if ln.strip().startswith(name))
+            assert "failed   0" in line
+            passed = int(line.split("passed")[1].split()[0])
+            assert passed > 0, f"{name} never judged a case:\n{out}"

@@ -1,0 +1,228 @@
+"""Prove every oracle and metamorphic relation actually fires.
+
+The first full fuzz sweep surfaced no discrepancy, which is only good
+news if the checks are capable of failing.  Each test here injects a
+deliberate violation through the :class:`~repro.verify.CheckContext`
+fault hooks — a lying ``solve`` keyed on task properties, or a broken
+``rate_trace`` sampler — and asserts the corresponding check reports a
+failure (and, for contrast, passes on the honest implementation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable
+
+import numpy as np
+import pytest
+
+from repro.core.results import LossRateResult
+from repro.core.source import CutoffFluidSource
+from repro.exec.task import SolveTask
+from repro.verify import (
+    BoundOrderingOracle,
+    BufferMonotonicityRelation,
+    CheckContext,
+    HurstRecoveryRelation,
+    MarkovEquivalenceOracle,
+    MonteCarloOracle,
+    RateRelabelInvarianceRelation,
+    Scenario,
+    ServiceMonotonicityRelation,
+    ShuffleInvarianceRelation,
+    SpectralDirectOracle,
+)
+
+
+def lying_solve(
+    predicate: Callable[[SolveTask], bool],
+    transform: Callable[[LossRateResult], LossRateResult],
+) -> Callable[[SolveTask], LossRateResult]:
+    """An honest solve, except where ``predicate`` matches — the injected bug."""
+
+    def solve(task: SolveTask) -> LossRateResult:
+        result = task.run()
+        return transform(result) if predicate(task) else result
+
+    return solve
+
+
+def scaled(factor: float) -> Callable[[LossRateResult], LossRateResult]:
+    return lambda result: replace(
+        result, lower=result.lower * factor, upper=result.upper * factor
+    )
+
+
+def assert_fires(check, scenario: Scenario, ctx: CheckContext) -> None:
+    assert check.applies(scenario), "fixture scenario must be in the check's domain"
+    outcome = check.run(scenario, ctx)
+    assert not outcome.skipped, f"{check.name} skipped instead of judging"
+    assert not outcome.passed, f"{check.name} did not fire on the injected bug"
+    assert outcome.message
+
+
+def assert_honest_pass(check, scenario: Scenario) -> None:
+    outcome = check.run(scenario, CheckContext())
+    assert not outcome.skipped and outcome.passed, (
+        f"{check.name} must pass the honest implementation: {outcome.message}"
+    )
+
+
+# --------------------------------------------------------------------- #
+# oracles
+# --------------------------------------------------------------------- #
+
+
+def test_spectral_direct_oracle_fires_on_kernel_divergence(lossy_scenario):
+    check = SpectralDirectOracle()
+    assert_honest_pass(check, lossy_scenario)
+    ctx = CheckContext(
+        solve=lying_solve(lambda task: not task.config.use_fft, scaled(1.01))
+    )
+    assert_fires(check, lossy_scenario, ctx)
+
+
+def test_bound_ordering_oracle_fires_on_inverted_bounds(lossy_scenario):
+    # LossRateResult itself refuses lower > upper, so the injection has
+    # to smuggle the inversion past the constructor validation.
+    def invert(result: LossRateResult) -> LossRateResult:
+        bad = replace(result)
+        object.__setattr__(bad, "lower", result.upper + 1.0)
+        return bad
+
+    check = BoundOrderingOracle()
+    assert_honest_pass(check, lossy_scenario)
+    ctx = CheckContext(solve=lying_solve(lambda task: True, invert))
+    assert_fires(check, lossy_scenario, ctx)
+
+
+def test_bound_ordering_oracle_fires_on_widening_refinement(lossy_scenario):
+    # A refinement step that *loosens* the upper bound violates the
+    # Prop. II.1 monotonicity in the bin count.
+    base_bins = lossy_scenario.config.initial_bins
+    check = BoundOrderingOracle()
+    ctx = CheckContext(
+        solve=lying_solve(
+            lambda task: task.config.initial_bins == 2 * base_bins,
+            lambda result: replace(result, upper=result.upper * 1.5 + 0.1),
+        )
+    )
+    assert_fires(check, lossy_scenario, ctx)
+
+
+def test_monte_carlo_oracle_fires_on_biased_solver(lossy_scenario):
+    check = MonteCarloOracle()
+    assert_honest_pass(check, lossy_scenario)
+    ctx = CheckContext(solve=lying_solve(lambda task: True, scaled(50.0)))
+    assert_fires(check, lossy_scenario, ctx)
+
+
+def test_markov_oracle_fires_on_decade_scale_bias(lossy_scenario):
+    check = MarkovEquivalenceOracle()
+    assert_honest_pass(check, lossy_scenario)
+    ctx = CheckContext(solve=lying_solve(lambda task: True, scaled(1000.0)))
+    assert_fires(check, lossy_scenario, ctx)
+
+
+# --------------------------------------------------------------------- #
+# metamorphic relations
+# --------------------------------------------------------------------- #
+
+
+def test_buffer_monotonicity_fires_on_nonmonotone_solver(lossy_scenario):
+    check = BufferMonotonicityRelation()
+    assert_honest_pass(check, lossy_scenario)
+    threshold = lossy_scenario.normalized_buffer * 1.5
+    ctx = CheckContext(
+        solve=lying_solve(
+            lambda task: task.normalized_buffer > threshold,
+            lambda result: replace(result, lower=10.0, upper=20.0),
+        )
+    )
+    assert_fires(check, lossy_scenario, ctx)
+
+
+def test_service_monotonicity_fires_on_nonmonotone_solver(lossy_scenario):
+    check = ServiceMonotonicityRelation()
+    assert_honest_pass(check, lossy_scenario)
+    threshold = lossy_scenario.utilization * 0.9
+    ctx = CheckContext(
+        solve=lying_solve(
+            lambda task: task.utilization < threshold,
+            lambda result: replace(result, lower=10.0, upper=20.0),
+        )
+    )
+    assert_fires(check, lossy_scenario, ctx)
+
+
+def test_relabel_invariance_fires_on_unit_dependence(lossy_scenario):
+    check = RateRelabelInvarianceRelation()
+    assert_honest_pass(check, lossy_scenario)
+    peak_threshold = lossy_scenario.source.marginal.peak * 1.5
+    ctx = CheckContext(
+        solve=lying_solve(
+            lambda task: task.source.marginal.peak > peak_threshold, scaled(1.01)
+        )
+    )
+    assert_fires(check, lossy_scenario, ctx)
+
+
+def test_shuffle_invariance_fires_on_long_range_sampler(lossy_scenario):
+    # Injected bug: a sampler whose output is sorted has correlation far
+    # beyond the claimed horizon T_c; the beyond-horizon shuffle then
+    # changes the loss, which is exactly what the relation must detect.
+    # The buffer is sized near the horizon so the loss is sensitive to
+    # multi-block rate runs (a tiny buffer only sees the marginal law).
+    def sorted_trace(
+        source: CutoffFluidSource,
+        duration: float,
+        bin_width: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        return np.sort(source.rate_trace(duration, bin_width, rng))
+
+    scenario = replace(lossy_scenario, normalized_buffer=3.0)
+    check = ShuffleInvarianceRelation()
+    assert_honest_pass(check, scenario)
+    assert_fires(check, scenario, CheckContext(rate_trace=sorted_trace))
+
+
+def test_hurst_recovery_fires_on_white_noise_sampler(lossy_scenario):
+    # White noise reads H ~ 0.5; the fixture's alpha = 1.4 demands 0.8.
+    def white_noise(
+        source: CutoffFluidSource,
+        duration: float,
+        bin_width: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        bins = max(1, int(round(duration / bin_width)))
+        marginal = source.marginal
+        return rng.choice(np.asarray(marginal.rates), size=bins, p=marginal.probs)
+
+    check = HurstRecoveryRelation()
+    assert_honest_pass(check, lossy_scenario)
+    assert_fires(check, lossy_scenario, CheckContext(rate_trace=white_noise))
+
+
+def test_every_default_check_is_covered():
+    """Guard: a check added to the battery needs an injected-bug test here."""
+    from repro.verify import default_checks
+
+    covered = {
+        "spectral_vs_direct",
+        "bound_ordering",
+        "solver_vs_monte_carlo",
+        "solver_vs_markov",
+        "buffer_monotone",
+        "service_monotone",
+        "relabel_invariance",
+        "shuffle_beyond_horizon",
+        "hurst_recovery",
+    }
+    assert {check.name for check in default_checks()} == covered
+
+
+@pytest.mark.parametrize("factor", [1.0, 0.5])
+def test_buffer_monotonicity_rejects_bad_factor(factor):
+    with pytest.raises(ValueError):
+        BufferMonotonicityRelation(factor=factor)

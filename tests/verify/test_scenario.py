@@ -1,0 +1,99 @@
+"""Determinism, stratification and serialization of the scenario stream."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.verify import REGIMES, Scenario, ScenarioGenerator
+
+
+def test_same_seed_same_stream():
+    first = [s.payload() for s in ScenarioGenerator(seed=7).take(21)]
+    second = [s.payload() for s in ScenarioGenerator(seed=7).take(21)]
+    assert first == second
+
+
+def test_different_seeds_differ():
+    a = [s.payload() for s in ScenarioGenerator(seed=0).take(7)]
+    b = [s.payload() for s in ScenarioGenerator(seed=1).take(7)]
+    assert a != b
+
+
+def test_cases_are_insertion_stable():
+    # Case i must not depend on whether cases 0..i-1 were generated.
+    generator = ScenarioGenerator(seed=3)
+    direct = generator.generate(5).payload()
+    streamed = list(generator.take(10))[5].payload()
+    assert direct == streamed
+
+
+def test_take_start_offset_matches_generate():
+    generator = ScenarioGenerator(seed=11)
+    windowed = [s.payload() for s in generator.take(3, start=4)]
+    direct = [generator.generate(i).payload() for i in (4, 5, 6)]
+    assert windowed == direct
+
+
+def test_regimes_cycle_round_robin():
+    scenarios = list(ScenarioGenerator(seed=0).take(2 * len(REGIMES)))
+    assert [s.regime for s in scenarios] == list(REGIMES) * 2
+
+
+def test_regime_parameters_land_in_their_stratum():
+    for scenario in ScenarioGenerator(seed=5).take(4 * len(REGIMES)):
+        law = scenario.source.interarrival
+        assert 1.0 < law.alpha < 2.0
+        assert 0.55 <= scenario.utilization <= 0.97
+        assert scenario.normalized_buffer > 0.0
+        assert math.isclose(float(np.sum(scenario.source.marginal.probs)), 1.0,
+                            rel_tol=1e-9)
+        if scenario.regime == "alpha_low":
+            assert law.alpha <= 1.15
+        elif scenario.regime == "alpha_high":
+            assert law.alpha >= 1.85
+        elif scenario.regime == "tiny_cutoff":
+            assert law.cutoff <= 4.0 * law.theta
+        elif scenario.regime == "huge_cutoff":
+            assert law.cutoff == math.inf or law.cutoff >= 1e4 * law.theta
+        elif scenario.regime == "two_point":
+            assert scenario.source.marginal.size == 2
+        elif scenario.regime == "many_level":
+            assert scenario.source.marginal.size >= 8
+
+
+def test_huge_cutoff_regime_hits_infinity():
+    cutoffs = [
+        s.source.interarrival.cutoff
+        for s in ScenarioGenerator(seed=0, regimes=("huge_cutoff",)).take(16)
+    ]
+    assert any(c == math.inf for c in cutoffs)
+    assert any(c != math.inf for c in cutoffs)
+
+
+def test_regime_subset_and_validation():
+    only = [s.regime for s in ScenarioGenerator(seed=2, regimes=("two_point",)).take(5)]
+    assert only == ["two_point"] * 5
+    with pytest.raises(ValueError):
+        ScenarioGenerator(regimes=("nonexistent",))
+    with pytest.raises(ValueError):
+        ScenarioGenerator(regimes=())
+    with pytest.raises(ValueError):
+        ScenarioGenerator().generate(-1)
+
+
+def test_payload_round_trip_and_case_id():
+    for scenario in ScenarioGenerator(seed=9).take(len(REGIMES)):
+        payload = scenario.payload()
+        restored = Scenario.from_payload(payload)
+        assert restored.payload() == payload
+        assert restored.case_id() == scenario.case_id()
+        assert len(scenario.case_id()) == 12
+        assert scenario.regime in scenario.describe()
+
+
+def test_from_payload_rejects_foreign_kinds():
+    with pytest.raises(ValueError, match="kind"):
+        Scenario.from_payload({"kind": "solver_config"})
