@@ -33,6 +33,7 @@ from repro.core import (
     SourcePath,
     TruncatedPareto,
     WorkloadLaw,
+    batch_loss_rates,
     correlation_horizon,
     correlation_horizon_clt,
     empirical_horizon,
@@ -54,6 +55,7 @@ __all__ = [
     "FluidQueue",
     "SolverConfig",
     "solve_loss_rate",
+    "batch_loss_rates",
     "LossRateResult",
     "OccupancyBounds",
     "expected_overflow",

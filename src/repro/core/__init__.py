@@ -21,7 +21,7 @@ from repro.core.horizon import (
 from repro.core.loss import expected_overflow, loss_rate_from_occupancy, zero_buffer_loss_rate
 from repro.core.marginal import DiscreteMarginal
 from repro.core.results import LossRateResult, OccupancyBounds
-from repro.core.solver import FluidQueue, SolverConfig, solve_loss_rate
+from repro.core.solver import FluidQueue, SolverConfig, batch_loss_rates, solve_loss_rate
 from repro.core.source import CutoffFluidSource, SourcePath
 from repro.core.truncated_pareto import TruncatedPareto
 from repro.core.workload import WorkloadLaw
@@ -35,6 +35,7 @@ __all__ = [
     "FluidQueue",
     "SolverConfig",
     "solve_loss_rate",
+    "batch_loss_rates",
     "LossRateResult",
     "OccupancyBounds",
     "expected_overflow",

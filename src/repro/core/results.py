@@ -34,12 +34,18 @@ class SolverStats:
         ``(bins, steps)`` pairs, one per refinement level in visit order,
         recording how many convolution steps ran at each quantization
         level.
+    batch_width:
+        Widest multi-task FFT stack this solve ever stepped in (v3
+        batched kernel).  1 means the solve ran solo — either dispatched
+        per task or planned into a batch whose other members could not
+        share its spectral plan.
     """
 
     transforms: int
     fft_seconds: float
     boundary_seconds: float
     steps_per_level: tuple[tuple[int, int], ...]
+    batch_width: int = 1
 
     @property
     def total_steps(self) -> int:

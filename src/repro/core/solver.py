@@ -36,7 +36,7 @@ round-off differs from the direct path (see ``SOLVER_VERSION``).
 from __future__ import annotations
 
 import time
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -54,9 +54,10 @@ __all__ = [
     "SolverConfig",
     "FluidQueue",
     "solve_loss_rate",
+    "batch_loss_rates",
 ]
 
-SOLVER_VERSION = 2
+SOLVER_VERSION = 3
 """Revision of the numeric stepping kernel.
 
 Participates in every solve-cache fingerprint (see
@@ -64,7 +65,12 @@ Participates in every solve-cache fingerprint (see
 self-invalidate instead of aliasing.  Bump whenever a kernel change can
 alter the float bit patterns of solver output.  History: 1 = per-chain
 ``scipy.signal.fftconvolve`` stepping; 2 = batched spectral kernel with
-cached increment transforms.
+cached increment transforms; 3 = multi-task stacked spectral kernel
+(:func:`batch_loss_rates`) — same-shape solves advance through one
+``(tasks, 2, L)`` rfft/irfft pair per step.  The stacked path is
+regression-tested bit-identical to the per-task path, but the stepping
+implementation changed, so the version bump lets persisted entries
+re-prove themselves instead of being trusted across the refactor.
 """
 
 DEFAULT_FFT_THRESHOLD_BINS = 256
@@ -73,6 +79,22 @@ spectral kernel (see ``benchmarks/results/ablation_fft_threshold.txt``).
 The old per-call ``fftconvolve`` path paid plan/setup cost every step and
 would have needed ~512 bins to win; caching the increment spectrum moves
 the break-even down to ~256."""
+
+FFT_STACK_BUDGET_BINS = 4096
+"""Working-set budget for the stacked multi-task FFT (v3 kernel).
+
+The stacked kernel advances up to ``FFT_STACK_BUDGET_BINS // bins`` tasks
+(floor 4) in one rfft/irfft pair.  Measured on this class of sizes the
+per-task win peaks near width 16 at 256 bins and shrinks as bins grow
+(wide stacks at 2048+ bins overflow cache and lose to bandwidth), so the
+cap scales inversely with the transform length.  The cap is a pure
+performance knob: sub-chunking a stack cannot change any row's bits
+(see ``tests/core/test_batched_kernel.py``)."""
+
+
+def _fft_stack_width(bins: int) -> int:
+    """Largest stack advanced through one FFT call at this bin count."""
+    return max(4, FFT_STACK_BUDGET_BINS // max(1, bins))
 
 
 @dataclass(frozen=True)
@@ -141,13 +163,14 @@ class SolverConfig:
 class _KernelCounters:
     """Mutable per-solve accumulators, shared across refinement levels."""
 
-    __slots__ = ("transforms", "fft_seconds", "boundary_seconds", "levels")
+    __slots__ = ("transforms", "fft_seconds", "boundary_seconds", "levels", "batch_width")
 
     def __init__(self) -> None:
         self.transforms = 0
         self.fft_seconds = 0.0
         self.boundary_seconds = 0.0
         self.levels: list[list[int]] = []  # [bins, steps] in level visit order
+        self.batch_width = 1  # widest stack this solve ever stepped in
 
     def count_steps(self, bins: int, steps: int) -> None:
         if not self.levels or self.levels[-1][0] != bins:
@@ -160,6 +183,7 @@ class _KernelCounters:
             fft_seconds=self.fft_seconds,
             boundary_seconds=self.boundary_seconds,
             steps_per_level=tuple((bins, steps) for bins, steps in self.levels),
+            batch_width=self.batch_width,
         )
 
 
@@ -615,3 +639,240 @@ def solve_loss_rate(
         source=source, utilization=utilization, normalized_buffer=normalized_buffer
     )
     return queue.loss_rate(config=config)
+
+
+# ---------------------------------------------------------------------- #
+# batched solves (SOLVER_VERSION = 3)
+# ---------------------------------------------------------------------- #
+
+
+class _StackedSpectralPlan:
+    """Spectral geometry shared by a stack of same-bin-count chains.
+
+    The per-chain :class:`_SpectralPlan` transforms one ``(2, L)`` state
+    per step; this plan stacks K chains into ``(K, 2, L)`` and advances
+    them all with one forward/inverse pair per sub-chunk.  Real-FFT rows
+    transform independently, so every row of the stacked result is
+    bit-identical to the corresponding solo transform — stacking (and the
+    :func:`_fft_stack_width` sub-chunking) is purely a throughput lever.
+    """
+
+    def __init__(self, chains: Sequence["_BoundedChains"], bins: int) -> None:
+        self.bins = bins
+        self.conv_length = 3 * bins + 1
+        self.length = int(next_fast_len(self.conv_length, real=True))
+        increments = np.stack(
+            [np.vstack([chain.w_lower, chain.w_upper]) for chain in chains]
+        )
+        self.kernel_spectrum = rfft(increments, n=self.length, axis=-1)
+        self.transforms = 2  # per chain: its two kernel transforms above
+        self._width = bins + 1
+        self._padded = np.zeros((len(chains), 2, self.length))
+        self._stack_width = _fft_stack_width(bins)
+
+    def convolve(self, states: np.ndarray) -> np.ndarray:
+        """Linear convolution of every chain in the stack, sub-chunked."""
+        self._padded[..., : self._width] = states
+        out = np.empty_like(self._padded)
+        for start in range(0, self._padded.shape[0], self._stack_width):
+            block = slice(start, start + self._stack_width)
+            spectrum = rfft(self._padded[block], axis=-1)
+            spectrum *= self.kernel_spectrum[block]
+            out[block] = irfft(spectrum, n=self.length, axis=-1)
+        return out
+
+
+class _BatchMember:
+    """One task's mutable solve state inside :func:`batch_loss_rates`."""
+
+    __slots__ = ("index", "chains", "previous", "counted_levels")
+
+    def __init__(self, index: int, chains: "_BoundedChains") -> None:
+        self.index = index
+        self.chains = chains
+        self.previous: tuple[float, float] | None = None
+        # Bin counts whose stacked kernel transforms were already charged
+        # to this member (the solo path charges them once per level too).
+        self.counted_levels: set[int] = set()
+
+
+class _StackedGroup:
+    """Members currently sharing one stacked spectral plan.
+
+    Built per refinement level; rebuilt whenever membership at that level
+    changes (a member converged, stalled out, or refined into the level).
+    States are copied out to each member's chains after every block so
+    the per-member bound checks and refinement read exactly what the solo
+    path would.
+    """
+
+    def __init__(self, members: Sequence[_BatchMember]) -> None:
+        self.members = list(members)
+        self.bins = members[0].chains.bins
+        self.plan = _StackedSpectralPlan([m.chains for m in members], self.bins)
+        self.states = np.stack([m.chains._state for m in members])
+        self._scratch = np.empty_like(self.states)
+        for member in members:
+            if self.bins not in member.counted_levels:
+                member.counted_levels.add(self.bins)
+                member.chains.counters.transforms += self.plan.transforms
+
+    def holds(self, members: Sequence[_BatchMember]) -> bool:
+        """True when this group still steps exactly these members' chains."""
+        return len(members) == len(self.members) and all(
+            ours is theirs and ours.chains.bins == self.bins
+            for ours, theirs in zip(self.members, members)
+        )
+
+    def iterate(self, steps: int) -> None:
+        """Advance every member ``steps`` iterations of Eqs. 19-20."""
+        if steps <= 0:
+            return
+        m = self.bins
+        n = 3 * m + 1
+        width = len(self.members)
+        states, scratch = self.states, self._scratch
+        fft_seconds = 0.0
+        boundary_seconds = 0.0
+        for _ in range(steps):
+            start = time.perf_counter()
+            u = self.plan.convolve(states)
+            mid = time.perf_counter()
+            new = scratch
+            new[..., 0] = u[..., : m + 1].sum(axis=-1)  # reflect sub-zero mass
+            new[..., 1:m] = u[..., m + 1 : 2 * m]
+            new[..., m] = u[..., 2 * m : n].sum(axis=-1)  # absorb above-B mass
+            np.clip(new, 0.0, None, out=new)
+            totals = new.sum(axis=-1)
+            if not ((0.5 < totals) & (totals < 2.0)).all():  # pragma: no cover
+                raise ArithmeticError(
+                    "occupancy pmf lost normalization; increments invalid?"
+                )
+            new /= totals[..., np.newaxis]
+            states, scratch = new, states
+            end = time.perf_counter()
+            fft_seconds += mid - start
+            boundary_seconds += end - mid
+        self.states, self._scratch = states, scratch
+        fft_share = fft_seconds / width
+        boundary_share = boundary_seconds / width
+        for position, member in enumerate(self.members):
+            counters = member.chains.counters
+            counters.transforms += 2 * steps
+            counters.fft_seconds += fft_share
+            counters.boundary_seconds += boundary_share
+            counters.count_steps(m, steps)
+            counters.batch_width = max(counters.batch_width, width)
+            member.chains._state[...] = states[position]
+
+
+def _finish_member(
+    member: _BatchMember, iterations: int, config: SolverConfig
+) -> LossRateResult | None:
+    """Per-member convergence bookkeeping after one lockstep block.
+
+    Mirrors the solo :meth:`FluidQueue.loss_rate` loop body exactly:
+    negligible-loss exit, relative-gap exit, stall-triggered refinement
+    (or give-up at ``max_bins``).  Returns the finished result, or None
+    when the member stays active (possibly with refined chains).
+    """
+    chains = member.chains
+    lower, upper = chains.loss_bounds()
+    if upper <= config.negligible_loss:
+        return LossRateResult(
+            lower=lower, upper=upper, iterations=iterations,
+            bins=chains.bins, converged=True, negligible=True,
+            stats=chains.counters.stats(),
+        )
+    mid = 0.5 * (lower + upper)
+    if upper - lower <= config.relative_gap * mid:
+        return LossRateResult(
+            lower=lower, upper=upper, iterations=iterations,
+            bins=chains.bins, converged=True, negligible=False,
+            stats=chains.counters.stats(),
+        )
+    if member.previous is not None and FluidQueue._stalled(
+        member.previous, (lower, upper), config
+    ):
+        if chains.bins * 2 > config.max_bins:
+            return LossRateResult(
+                lower=lower, upper=upper, iterations=iterations,
+                bins=chains.bins, converged=False, negligible=False,
+                stats=chains.counters.stats(),
+            )
+        member.chains = chains.refined()
+        member.previous = None
+        return None
+    member.previous = (lower, upper)
+    return None
+
+
+def batch_loss_rates(
+    queues: Sequence[FluidQueue], config: SolverConfig | None = None
+) -> list[LossRateResult]:
+    """Solve many queues at once through the stacked spectral kernel.
+
+    All queues share one ``config``, so their block schedules run in
+    lockstep: each round every active member advances the same number of
+    steps, members at the same refinement level (and past the FFT
+    threshold) through one stacked ``(K, 2, L)`` rfft/irfft pair, members
+    on the direct-convolution path through the ordinary per-task kernel.
+    Convergence, stalling and grid refinement remain strictly per member,
+    so every returned :class:`~repro.core.results.LossRateResult` is
+    bit-identical to what :meth:`FluidQueue.loss_rate` returns for that
+    queue alone — batching changes throughput, never output.
+
+    Results are returned in input order.
+    """
+    config = config or SolverConfig()
+    queue_list = list(queues)
+    results: list[LossRateResult | None] = [None] * len(queue_list)
+    members: list[_BatchMember] = []
+    for index, queue in enumerate(queue_list):
+        trivial = queue._trivial_result(config)
+        if trivial is not None:
+            results[index] = trivial
+            continue
+        chains = _BoundedChains(
+            workload=WorkloadLaw(source=queue.source, service_rate=queue.service_rate),
+            buffer_size=queue.buffer_size,
+            bins=config.initial_bins,
+            use_fft=config.use_fft,
+            fft_threshold_bins=config.fft_threshold_bins,
+        )
+        members.append(_BatchMember(index=index, chains=chains))
+    iterations = 0
+    groups: dict[int, _StackedGroup] = {}
+    while members and iterations < config.max_iterations:
+        steps = min(config.block_iterations, config.max_iterations - iterations)
+        by_level: dict[int, list[_BatchMember]] = {}
+        for member in members:
+            if member.chains.spectral:
+                by_level.setdefault(member.chains.bins, []).append(member)
+            else:
+                member.chains.iterate(steps)
+        for bins, level_members in by_level.items():
+            group = groups.get(bins)
+            if group is None or not group.holds(level_members):
+                group = _StackedGroup(level_members)
+                groups[bins] = group
+            group.iterate(steps)
+        groups = {bins: group for bins, group in groups.items() if bins in by_level}
+        iterations += steps
+        survivors: list[_BatchMember] = []
+        for member in members:
+            finished = _finish_member(member, iterations, config)
+            if finished is None:
+                survivors.append(member)
+            else:
+                results[member.index] = finished
+        members = survivors
+    for member in members:  # iteration budget exhausted, as in the solo path
+        lower, upper = member.chains.loss_bounds()
+        results[member.index] = LossRateResult(
+            lower=lower, upper=upper, iterations=iterations,
+            bins=member.chains.bins, converged=False,
+            negligible=upper <= config.negligible_loss,
+            stats=member.chains.counters.stats(),
+        )
+    return [result for result in results if result is not None]

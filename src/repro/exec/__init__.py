@@ -9,17 +9,25 @@ per-cell :class:`CellTelemetry` through :class:`SweepTelemetry`.
 
 The serial backend reproduces the legacy hand-rolled sweep loops bit for
 bit; the process-pool backend produces identical numbers in parallel.
+Cache misses are planned into kernel-stackable batches
+(:func:`plan_batches`) so shape-compatible cells advance through one
+stacked spectral call — regression-tested bit-identical to per-task
+solves.
 """
 
 from repro.exec.backends import ProcessPoolBackend, SerialBackend, resolve_backend
 from repro.exec.cache import SolveCache, default_cache_dir
 from repro.exec.engine import SweepEngine
-from repro.exec.task import SolveTask, SweepPlan
+from repro.exec.planner import DEFAULT_MAX_BATCH, plan_batches
+from repro.exec.task import SolveTask, SweepPlan, solve_task_batch
 from repro.exec.telemetry import CellTelemetry, ProgressCallback, SweepTelemetry
 
 __all__ = [
     "SolveTask",
     "SweepPlan",
+    "solve_task_batch",
+    "plan_batches",
+    "DEFAULT_MAX_BATCH",
     "SerialBackend",
     "ProcessPoolBackend",
     "resolve_backend",

@@ -1,14 +1,22 @@
 """Pluggable execution backends for sweep plans.
 
-A backend turns a sequence of :class:`~repro.exec.task.SolveTask` cells
-into ``(index, result, seconds)`` triples, in any completion order.  Two
-implementations ship:
+A backend's unit of work is a *batch*: :meth:`run_batches` turns a
+sequence of planner-produced batches (see :mod:`repro.exec.planner`) into
+one ``[(index, result, seconds), ...]`` list per completed batch, batches
+in any completion order.  Multi-task batches go through the stacked
+spectral kernel (``solve_task_batch``); batches of one take the ordinary
+per-task path.  The legacy per-task :meth:`run` survives as a thin
+adapter (every task its own batch) for callers that pre-date the batched
+contract.  Two implementations ship:
 
 * :class:`SerialBackend` — runs cells inline, in task order.  This is the
   reference path: it performs the *same calls in the same order* as the
   legacy hand-rolled sweep loops, so its numeric output is bit-identical.
-* :class:`ProcessPoolBackend` — fans cells out over worker processes in
-  contiguous chunks.  Tasks are pickled whole (pickle restores the frozen
+* :class:`ProcessPoolBackend` — fans work out over worker processes.
+  Batched dispatch ships *whole batches*: a batch is never split across
+  workers (splitting would shrink the kernel stack and forfeit the
+  batching win), so each future solves one batch end to end.  Tasks are
+  pickled whole (pickle restores the frozen
   dataclasses without re-running ``__post_init__``, so the source arrays
   cross the process boundary bit-exactly); workers reconstruct the source
   from the task itself and never touch the parent's ``lru_cache``-held
@@ -30,12 +38,34 @@ from collections.abc import Iterator, Sequence
 from typing import TYPE_CHECKING
 
 from repro.core.results import LossRateResult
-from repro.exec.task import SolveTask
+from repro.exec.task import SolveTask, solve_task_batch
 
 if TYPE_CHECKING:  # pragma: no cover - import for annotations only
     from concurrent.futures import ProcessPoolExecutor
 
 __all__ = ["SerialBackend", "ProcessPoolBackend", "resolve_backend"]
+
+Batch = Sequence[tuple[int, SolveTask]]
+BatchResult = list[tuple[int, LossRateResult, float]]
+
+
+def _solve_batch(batch: Batch) -> BatchResult:
+    """Solve one planner batch; per-cell seconds share the batch wall clock.
+
+    A batch of one goes through :meth:`SolveTask.run` — the pre-batching
+    per-task path — which is also the planner's solo-fallback route for
+    tasks that could not share a kernel stack.
+    """
+    start = time.perf_counter()
+    if len(batch) == 1:
+        index, task = batch[0]
+        return [(index, task.run(), time.perf_counter() - start)]
+    results = solve_task_batch([task for _, task in batch])
+    seconds = (time.perf_counter() - start) / len(batch)
+    return [
+        (index, result, seconds)
+        for (index, _), result in zip(batch, results)
+    ]
 
 
 class SerialBackend:
@@ -51,6 +81,12 @@ class SerialBackend:
             result = task.run()
             yield index, result, time.perf_counter() - start
 
+    def run_batches(self, batches: Sequence[Batch]) -> Iterator[BatchResult]:
+        """Solve batches inline, in planner order, one result list each."""
+        for batch in batches:
+            if batch:
+                yield _solve_batch(batch)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "SerialBackend()"
 
@@ -65,6 +101,11 @@ def _solve_chunk(
         result = task.run()
         out.append((index, result, time.perf_counter() - start))
     return out
+
+
+def _solve_batch_worker(batch: list[tuple[int, SolveTask]]) -> BatchResult:
+    """Worker-side entry point: one whole planner batch per future."""
+    return _solve_batch(batch)
 
 
 class ProcessPoolBackend:
@@ -145,6 +186,30 @@ class ProcessPoolBackend:
             done, pending = wait(pending, return_when=FIRST_COMPLETED)
             for future in done:
                 yield from future.result()
+
+    def run_batches(self, batches: Sequence[Batch]) -> Iterator[BatchResult]:
+        """Fan whole batches out over the pool, one batch per future.
+
+        A batch is the kernel's stacking unit, so it is never split
+        across workers — this is exactly the chunking fix the per-task
+        path needed: workers receive coherent units of work instead of
+        slices that defeat the stacked FFT.  With one worker (or one
+        batch) the pool is skipped entirely, pickling included.
+        """
+        batches = [list(batch) for batch in batches if batch]
+        if not batches:
+            return
+        if self.jobs == 1 or len(batches) == 1:
+            yield from SerialBackend().run_batches(batches)
+            return
+        from concurrent.futures import FIRST_COMPLETED, wait
+
+        pool = self._executor()
+        pending = {pool.submit(_solve_batch_worker, batch) for batch in batches}
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                yield future.result()
 
     def close(self) -> None:
         """Shut the warm pool down (idempotent; a later run re-creates it)."""

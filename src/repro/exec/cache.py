@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import json
 import os
-from collections.abc import Iterator
+from collections.abc import Iterable, Iterator, Sequence
 from contextlib import contextmanager
 from pathlib import Path
 
@@ -129,6 +129,24 @@ class SolveCache:
             self.hits += 1
         return result
 
+    def get_many(self, keys: Sequence[str]) -> list[LossRateResult | None]:
+        """Bulk :meth:`get`: one result-or-None per key, in key order.
+
+        A single pass over the in-memory store with the same hit/miss
+        accounting as per-key lookups; the batched engine uses this so a
+        plan's cache scan is one call instead of one per cell.
+        """
+        store = self._load()
+        results: list[LossRateResult | None] = []
+        for key in keys:
+            result = store.get(key)
+            if result is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            results.append(result)
+        return results
+
     def put(self, key: str, result: LossRateResult) -> None:
         """Store a result in memory and append it to the JSONL file.
 
@@ -138,11 +156,27 @@ class SolveCache:
         newline — a writer died mid-record — a newline is inserted first
         so the earlier damage stays confined to its own line.
         """
+        self.put_many([(key, result)])
+
+    def put_many(self, items: Iterable[tuple[str, LossRateResult]]) -> int:
+        """Bulk :meth:`put`: one lock acquisition and one append per batch.
+
+        Already-present keys are skipped (first write wins, as for
+        :meth:`put`); the fresh records are serialized into a single
+        ``write`` call under one advisory-lock round trip, so a batch of
+        N results costs one file append instead of N lock/open/fsync
+        cycles.  Returns the number of records actually written.
+        """
         store = self._load()
-        if key in store:
-            return
-        store[key] = result
-        line = json.dumps(_record_from_result(key, result)) + "\n"
+        fresh: list[str] = []
+        for key, result in items:
+            if key in store:
+                continue
+            store[key] = result
+            fresh.append(json.dumps(_record_from_result(key, result)))
+        if not fresh:
+            return 0
+        payload = ("\n".join(fresh) + "\n").encode("utf-8")
         self.directory.mkdir(parents=True, exist_ok=True)
         with self._file_lock():
             repair = b""
@@ -152,7 +186,8 @@ class SolveCache:
                     if handle.read(1) != b"\n":
                         repair = b"\n"
             with self.path.open("ab") as handle:
-                handle.write(repair + line.encode("utf-8"))
+                handle.write(repair + payload)
+        return len(fresh)
 
     def clear(self) -> None:
         """Drop every entry (memory and disk)."""

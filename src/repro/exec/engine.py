@@ -5,16 +5,21 @@ grid in the repository runs — the five ``sweep_*`` builders, the figure
 registry, the CLI and the benchmarks.  Responsibilities:
 
 1. consult the persistent :class:`~repro.exec.cache.SolveCache` (when
-   configured) and only dispatch cache misses;
-2. hand the remaining cells to the configured backend (serial or process
-   pool);
-3. record per-cell :class:`~repro.exec.telemetry.CellTelemetry` and drive
+   configured) in one bulk ``get_many`` scan and only dispatch misses;
+2. partition the misses into kernel-stackable batches
+   (:func:`~repro.exec.planner.plan_batches` — cache hits never enter a
+   batch, and every task keeps its own fingerprint and cache entry);
+3. hand the batches to the configured backend (serial or process pool),
+   whole batches per worker;
+4. record per-cell :class:`~repro.exec.telemetry.CellTelemetry` and drive
    the optional progress callback;
-4. write fresh results back to the cache.
+5. write each completed batch back to the cache in one bulk ``put_many``
+   append.
 
 A default-constructed engine (serial backend, no cache) performs exactly
-the same computations in exactly the same order as the legacy hand-rolled
-loops, which is what keeps the refactored sweeps bit-identical.
+the same computations as the legacy hand-rolled loops; the batched
+kernel is regression-tested bit-identical to the per-task path, so the
+refactored sweeps stay bit-identical.
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ import numpy as np
 from repro.core.results import LossRateResult
 from repro.exec.backends import SerialBackend
 from repro.exec.cache import SolveCache
+from repro.exec.planner import DEFAULT_MAX_BATCH, plan_batches
 from repro.exec.task import SolveTask, SweepPlan
 from repro.exec.telemetry import CellTelemetry, ProgressCallback, SweepTelemetry
 
@@ -44,6 +50,12 @@ class SweepEngine:
     progress:
         Optional ``progress(done, total, cell)`` callback invoked after
         every completed cell.
+    max_batch:
+        Widest batch handed to the backend.  ``None`` (default) sizes
+        adaptively: the planner ceiling
+        (:data:`~repro.exec.planner.DEFAULT_MAX_BATCH`) for serial
+        backends, shrunk to ``ceil(pending / jobs)`` for pools so every
+        worker gets at least one whole batch.
 
     The engine's :attr:`telemetry` accumulates across runs, so a frontend
     can execute several plans and report one aggregate summary.  For the
@@ -57,10 +69,14 @@ class SweepEngine:
         backend: object | None = None,
         cache: SolveCache | None = None,
         progress: ProgressCallback | None = None,
+        max_batch: int | None = None,
     ) -> None:
         self.backend = backend if backend is not None else SerialBackend()
         self.cache = cache
         self.progress = progress
+        if max_batch is not None and max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.max_batch = max_batch
         self.telemetry = SweepTelemetry()
         self._closed = False
 
@@ -85,34 +101,67 @@ class SweepEngine:
 
         pending: list[tuple[int, SolveTask]] = []
         keys: list[str] = [""] * total
+        if self.cache is not None:
+            keys = [task.cache_key() for task in tasks]
+            hits = self.cache.get_many(keys)
+        else:
+            hits = [None] * total
         for index, task in enumerate(tasks):
-            if self.cache is not None:
-                key = task.cache_key()
-                keys[index] = key
-                hit = self.cache.get(key)
-                if hit is not None:
-                    results[index] = hit
+            hit = hits[index]
+            if hit is not None:
+                results[index] = hit
+                done += 1
+                self._record(
+                    CellTelemetry.from_result(index, keys[index], 0.0, hit, cached=True),
+                    done,
+                    total,
+                )
+            else:
+                pending.append((index, task))
+
+        run_batches = getattr(self.backend, "run_batches", None)
+        if callable(run_batches):
+            batches = plan_batches(pending, max_batch=self._plan_width(len(pending)))
+            for batch_result in run_batches(batches):
+                if self.cache is not None:
+                    self.cache.put_many(
+                        (keys[index], result) for index, result, _ in batch_result
+                    )
+                for index, result, seconds in batch_result:
+                    results[index] = result
                     done += 1
                     self._record(
-                        CellTelemetry.from_result(index, key, 0.0, hit, cached=True),
+                        CellTelemetry.from_result(
+                            index, keys[index], seconds, result, cached=False
+                        ),
                         done,
                         total,
                     )
-                    continue
-            pending.append((index, task))
-
-        for index, result, seconds in self.backend.run(pending):
-            results[index] = result
-            done += 1
-            if self.cache is not None:
-                self.cache.put(keys[index], result)
-            self._record(
-                CellTelemetry.from_result(index, keys[index], seconds, result, cached=False),
-                done,
-                total,
-            )
+        else:  # duck-typed legacy backend without the batched contract
+            for index, result, seconds in self.backend.run(pending):
+                results[index] = result
+                done += 1
+                if self.cache is not None:
+                    self.cache.put(keys[index], result)
+                self._record(
+                    CellTelemetry.from_result(
+                        index, keys[index], seconds, result, cached=False
+                    ),
+                    done,
+                    total,
+                )
 
         return [r for r in results if r is not None]
+
+    def _plan_width(self, pending_count: int) -> int:
+        """Batch ceiling for this run: explicit, or adaptive to the pool."""
+        if self.max_batch is not None:
+            return self.max_batch
+        jobs = int(getattr(self.backend, "jobs", 1) or 1)
+        if jobs > 1 and pending_count:
+            # Shrink batches until every worker can hold a whole one.
+            return max(1, min(DEFAULT_MAX_BATCH, -(-pending_count // jobs)))
+        return DEFAULT_MAX_BATCH
 
     def solve(self, task: SolveTask) -> LossRateResult:
         """Run one task through the cache/backend/telemetry path."""

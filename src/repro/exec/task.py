@@ -21,10 +21,10 @@ import numpy as np
 
 from repro.core.fingerprint import payload_of, stable_hash
 from repro.core.results import LossRateResult
-from repro.core.solver import SolverConfig, solve_loss_rate
+from repro.core.solver import FluidQueue, SolverConfig, batch_loss_rates, solve_loss_rate
 from repro.core.source import CutoffFluidSource
 
-__all__ = ["SolveTask", "SweepPlan"]
+__all__ = ["SolveTask", "SweepPlan", "solve_task_batch"]
 
 
 @dataclass(frozen=True)
@@ -69,6 +69,26 @@ class SolveTask:
     def cache_key(self) -> str:
         """Content hash identifying this task across processes and runs."""
         return stable_hash(self.payload())
+
+    def group_key(self) -> dict:
+        """Batch-compatibility material: which tasks may share one kernel stack.
+
+        Tasks whose group keys hash equal start at the same quantization
+        level with the same FFT policy (the solver configuration fixes
+        ``initial_bins``, the threshold and the padding rule), so the
+        batched kernel can advance them in lockstep.  Every key here is a
+        subset of the :meth:`payload` keys — enforced by lintkit rule
+        FPR001 — so a new grouping dimension can never escape the cache
+        fingerprint and silently alias stale entries.
+        """
+        return {
+            "kind": "solve_batch_group",
+            "config": payload_of(self.config),
+        }
+
+    def batch_key(self) -> str:
+        """Content hash of :meth:`group_key` (the batch planner's bucket)."""
+        return stable_hash(self.group_key())
 
 
 @dataclass(frozen=True)
@@ -130,3 +150,35 @@ class SweepPlan:
     def reshape(self, values: Sequence[float]) -> np.ndarray:
         """Arrange per-task values (task order) as the ``(rows, cols)`` grid."""
         return np.asarray(list(values), dtype=np.float64).reshape(self.shape)
+
+
+def solve_task_batch(tasks: Sequence[SolveTask]) -> list[LossRateResult]:
+    """Solve a group-compatible batch through the stacked kernel, in order.
+
+    All tasks must share one :meth:`SolveTask.group_key` hash (the batch
+    planner guarantees this; direct callers get a ``ValueError``
+    otherwise).  A batch of one task takes the exact per-task path
+    :meth:`SolveTask.run` takes, and larger batches are regression-tested
+    bit-identical to it, so callers never trade correctness for the
+    throughput win.
+    """
+    if not tasks:
+        return []
+    if len(tasks) == 1:
+        return [tasks[0].run()]
+    reference = tasks[0].batch_key()
+    for task in tasks[1:]:
+        if task.batch_key() != reference:
+            raise ValueError(
+                "solve_task_batch needs group-compatible tasks; "
+                "partition with repro.exec.planner.plan_batches first"
+            )
+    queues = [
+        FluidQueue.from_normalized(
+            source=task.source,
+            utilization=task.utilization,
+            normalized_buffer=task.normalized_buffer,
+        )
+        for task in tasks
+    ]
+    return batch_loss_rates(queues, config=tasks[0].config)

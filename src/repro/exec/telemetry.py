@@ -40,6 +40,11 @@ class CellTelemetry:
         operations the solve executed and how its wall-clock time split
         between the convolution kernel and spatial boundary handling.
         Zero for cache hits and trivial (closed-form) results.
+    batch_width:
+        Widest multi-task kernel stack the solve stepped in (copied from
+        :class:`~repro.core.results.SolverStats`).  1 marks a solo solve:
+        dispatched alone, planned into a singleton batch, or batched but
+        never sharing a spectral plan.
     """
 
     index: int
@@ -53,6 +58,7 @@ class CellTelemetry:
     transforms: int = 0
     fft_seconds: float = 0.0
     boundary_seconds: float = 0.0
+    batch_width: int = 1
 
     @classmethod
     def from_result(
@@ -76,6 +82,7 @@ class CellTelemetry:
             transforms=stats.transforms if stats is not None else 0,
             fft_seconds=stats.fft_seconds if stats is not None else 0.0,
             boundary_seconds=stats.boundary_seconds if stats is not None else 0.0,
+            batch_width=stats.batch_width if stats is not None else 1,
         )
 
 
@@ -132,6 +139,25 @@ class SweepTelemetry:
     def unconverged_cells(self) -> int:
         return sum(1 for c in self.cells if not c.converged)
 
+    @property
+    def batched_tasks(self) -> int:
+        """Solved cells that shared a multi-task kernel stack (width > 1)."""
+        return sum(1 for c in self.cells if not c.cached and c.batch_width > 1)
+
+    @property
+    def fallback_solo(self) -> int:
+        """Solved cells that ran alone — no stack-mate at any refinement level."""
+        return sum(1 for c in self.cells if not c.cached and c.batch_width <= 1)
+
+    def batch_shapes(self) -> dict[int, int]:
+        """Histogram ``{stack width: solved cells}`` over batched cells."""
+        shapes: dict[int, int] = {}
+        for cell in self.cells:
+            if cell.cached or cell.batch_width <= 1:
+                continue
+            shapes[cell.batch_width] = shapes.get(cell.batch_width, 0) + 1
+        return dict(sorted(shapes.items()))
+
     def summary(self) -> dict[str, float]:
         """Flat summary mapping, ready for ``reporting.format_mapping``."""
         return {
@@ -144,6 +170,8 @@ class SweepTelemetry:
             "fft_transforms": float(self.fft_transforms),
             "fft_seconds": self.fft_seconds,
             "boundary_seconds": self.boundary_seconds,
+            "batched_tasks": float(self.batched_tasks),
+            "fallback_solo": float(self.fallback_solo),
         }
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic

@@ -18,6 +18,15 @@ against the field lists of the matching ``@dataclass`` definitions found
 anywhere in the linted file set.  A field with no same-named payload key
 is a finding.  Extra keys (``kind``, ``solver_version``) are fine — only
 *missing* coverage corrupts cache identity.
+
+The batched solve pipeline adds a second invariant: a class exposing a
+``group_key`` method (the batch planner's grouping identity) must draw
+every grouping key from its fingerprint payload.  A grouping key with no
+matching payload key would make batch membership depend on state the
+cache key cannot see — two tasks could share a fingerprint yet solve
+under different batch plans, or worse, group together on an attribute
+the fingerprint never hashed.  The discriminator key ``kind`` is exempt
+on both sides.
 """
 
 from __future__ import annotations
@@ -110,6 +119,16 @@ def _payload_sites(source: SourceFile) -> Iterator[tuple[str, ast.AST, set[str]]
                         yield node.name, anchor, keys
 
 
+def _method_dict_keys(
+    class_def: ast.ClassDef, method_name: str
+) -> tuple[ast.AST, set[str]] | None:
+    """``(anchor, keys)`` of a class method returning a dict literal."""
+    for statement in class_def.body:
+        if isinstance(statement, ast.FunctionDef) and statement.name == method_name:
+            return _returned_dict_keys(statement.body)
+    return None
+
+
 @register
 class FingerprintCompletenessRule(Rule):
     """Every dataclass field must be covered by its fingerprint payload."""
@@ -118,8 +137,10 @@ class FingerprintCompletenessRule(Rule):
     name = "fingerprint-completeness"
     description = (
         "a dataclass encoded by repro.core.fingerprint (payload_of branch or "
-        "a payload() method) has a field missing from the hashed payload keys; "
-        "the solve cache would alias results across values of that field"
+        "a payload() method) has a field missing from the hashed payload keys, "
+        "so the solve cache would alias results across values of that field; "
+        "or a group_key() batch-grouping method uses a key absent from the "
+        "payload, so batch membership would depend on unfingerprinted state"
     )
 
     def check_project(self, ctx: LintContext) -> Iterator[Finding]:
@@ -139,3 +160,26 @@ class FingerprintCompletenessRule(Rule):
                             f"{field_name!r}; cache keys will not distinguish "
                             f"values of {class_name}.{field_name}",
                         )
+            yield from self._check_group_keys(source)
+
+    def _check_group_keys(self, source: SourceFile) -> Iterator[Finding]:
+        """Grouping keys must be a subset of the fingerprint payload keys."""
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            grouped = _method_dict_keys(node, "group_key")
+            if grouped is None:
+                continue
+            fingerprinted = _method_dict_keys(node, "payload")
+            if fingerprinted is None:
+                continue  # no literal payload to compare against
+            anchor, group_keys = grouped
+            _, payload_keys = fingerprinted
+            for key in sorted(group_keys - payload_keys - {"kind"}):
+                yield self.finding(
+                    source,
+                    anchor,
+                    f"group_key for {node.name} uses key {key!r} that the "
+                    f"fingerprint payload never hashes; batch grouping would "
+                    f"depend on state invisible to the solve cache",
+                )

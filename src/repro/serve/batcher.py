@@ -3,10 +3,13 @@
 A single dispatcher thread sleeps until work arrives, then collects a
 batch: it dispatches as soon as ``batch_size`` items are queued, or when
 ``batch_delay_s`` has elapsed since the *first* item of the forming
-batch arrived — whichever comes first.  Batching is what lets the warm
-process pool amortize dispatch overhead across concurrent requests
-while the deadline bounds how long a lone request can be held back
-(one ``batch_delay_s``, a few tens of milliseconds).
+batch arrived — whichever comes first.  The collected window is handed
+to the dispatch callback *as one unit*: the serving layer feeds it to
+the engine's batch planner, so shape-compatible queries advance through
+one stacked spectral kernel call instead of N independent solves, and a
+warm process pool receives whole batches.  The deadline bounds how long
+a lone request can be held back (one ``batch_delay_s``, a few tens of
+milliseconds).
 
 Admission control lives at the mouth of the queue: :meth:`submit`
 raises :class:`QueueFullError` when ``max_queue`` items are already

@@ -15,11 +15,12 @@ directly.  One request flows through four stations:
    the bounded :class:`~repro.serve.batcher.MicroBatcher`; a full queue
    sheds the request (:class:`ServiceOverloadedError` → 429 with
    Retry-After) *before* it ever reaches the backend.  The dispatcher
-   drains size-or-deadline batches and runs each as a
-   :class:`~repro.exec.task.SweepPlan` through the shared
-   :class:`~repro.exec.engine.SweepEngine` — which consults the
-   persistent solve cache first, so repeat queries after the coalescing
-   window closes cost no solver work either.
+   hands each size-or-deadline window straight to the shared
+   :class:`~repro.exec.engine.SweepEngine`, whose batch planner groups
+   the window's cache misses into kernel-stackable batches — N
+   shape-compatible queries become a handful of stacked spectral calls,
+   and repeat queries after the coalescing window closes still cost no
+   solver work thanks to the persistent solve cache.
 4. **Reply.**  Every waiter observes the shared result (or the shared
    error), bounded by its per-request timeout
    (:class:`QueryTimeoutError` → 504).
@@ -39,12 +40,10 @@ from concurrent.futures import CancelledError
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.core.horizon import correlation_horizon, norros_horizon
 from repro.core.results import LossRateResult
 from repro.exec.engine import SweepEngine
-from repro.exec.task import SolveTask, SweepPlan
+from repro.exec.task import SolveTask
 from repro.serve.batcher import BatcherClosedError, MicroBatcher, QueueFullError
 from repro.serve.coalescer import RequestCoalescer
 from repro.serve.protocol import QueryRequest, result_payload
@@ -244,20 +243,18 @@ class QueryService:
     # ------------------------------------------------------------------ #
 
     def _dispatch(self, batch: list[_Pending]) -> None:
-        """Dispatcher-thread entry: run one micro-batch through the engine."""
+        """Dispatcher-thread entry: one micro-batch window → batch planner.
+
+        The window goes to the engine whole — no flattening into
+        independent solves.  The engine resolves cache hits first, then
+        partitions the misses into kernel-stackable batches, so the
+        stacked spectral kernel sees the whole window at once.
+        """
         started = time.perf_counter()
         for item in batch:
             self.queue_latency.record(started - item.enqueued_at)
-        plan = SweepPlan(
-            row_label="batch",
-            col_label="request",
-            rows=np.zeros(1),
-            cols=np.arange(len(batch), dtype=np.float64),
-            tasks=tuple(item.task for item in batch),
-            meta={"kind": "serve_batch"},
-        )
         try:
-            results = self.engine.run_tasks(plan.tasks)
+            results = self.engine.run_tasks([item.task for item in batch])
         except Exception as error:
             for item in batch:
                 self.coalescer.fail(item.key, error)
@@ -373,11 +370,20 @@ class QueryService:
                 "uptime_s": time.monotonic() - self._started_at,
             }
         cache = self.engine.cache
+        telemetry = self.engine.telemetry
         return {
             **counters,
             "queue": self.batcher.snapshot(),
             "coalesce": self.coalescer.snapshot(),
-            "engine": self.engine.telemetry.summary(),
+            "engine": telemetry.summary(),
+            "batches": {
+                "batched_tasks": telemetry.batched_tasks,
+                "fallback_solo": telemetry.fallback_solo,
+                "shapes": {
+                    str(width): count
+                    for width, count in telemetry.batch_shapes().items()
+                },
+            },
             "cache": None if cache is None else {
                 "entries": len(cache),
                 "hits": cache.hits,

@@ -6,8 +6,9 @@ loss rate (Prop. II.1), correlation beyond the horizon is irrelevant
 package checks them as machine-verified properties over randomly
 generated scenarios instead of hand-picked points: a seeded stratified
 :class:`~repro.verify.scenario.ScenarioGenerator`, differential
-:mod:`oracles <repro.verify.oracles>` (spectral vs direct kernel, bound
-ordering under refinement, solver vs Monte Carlo, solver vs Markov),
+:mod:`oracles <repro.verify.oracles>` (spectral vs direct kernel, batched
+vs solo stacked-kernel solves, bound ordering under refinement, solver vs
+Monte Carlo, solver vs Markov),
 :mod:`metamorphic relations <repro.verify.metamorphic>` (monotonicity,
 relabeling invariance, shuffle-beyond-horizon invariance, Hurst
 recovery), plus JSON failure-corpus persistence with greedy case
@@ -24,6 +25,7 @@ from repro.verify.metamorphic import (
     ShuffleInvarianceRelation,
 )
 from repro.verify.oracles import (
+    BatchedSoloOracle,
     BoundOrderingOracle,
     MarkovEquivalenceOracle,
     MonteCarloOracle,
@@ -46,6 +48,7 @@ from repro.verify.scenario import (
 __all__ = [
     "FUZZ_SOLVER_CONFIG",
     "REGIMES",
+    "BatchedSoloOracle",
     "BoundOrderingOracle",
     "BufferMonotonicityRelation",
     "CaseResult",

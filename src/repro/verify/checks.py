@@ -18,6 +18,7 @@ solver or the simulators directly — they go through the
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
@@ -25,7 +26,7 @@ import numpy as np
 
 from repro.core.results import LossRateResult
 from repro.core.source import CutoffFluidSource
-from repro.exec.task import SolveTask
+from repro.exec.task import SolveTask, solve_task_batch
 from repro.verify.scenario import Scenario
 
 __all__ = [
@@ -74,15 +75,23 @@ class CheckContext:
     rate_trace:
         ``(source, duration, bin_width, rng) -> np.ndarray``; sampling
         hook for the trace-driven relations.
+    solve_batch:
+        ``Sequence[SolveTask] -> list[LossRateResult]``; the stacked
+        multi-task kernel path.  The default runs
+        :func:`~repro.exec.task.solve_task_batch` inline; the batched-
+        vs-solo oracle's injected-bug tests replace it with a lying
+        implementation.
     """
 
     def __init__(
         self,
         solve: Callable[[SolveTask], LossRateResult] | None = None,
         rate_trace: Callable[..., np.ndarray] | None = None,
+        solve_batch: Callable[[Sequence[SolveTask]], list[LossRateResult]] | None = None,
     ) -> None:
         self.solve = solve if solve is not None else _inline_solve
         self.rate_trace = rate_trace if rate_trace is not None else _sample_rate_trace
+        self.solve_batch = solve_batch if solve_batch is not None else _inline_solve_batch
 
     def solve_scenario(self, scenario: Scenario, **overrides: object) -> LossRateResult:
         """Solve a scenario (or a variant of it) through the solve hook.
@@ -114,6 +123,10 @@ class CheckContext:
 
 def _inline_solve(task: SolveTask) -> LossRateResult:
     return task.run()
+
+
+def _inline_solve_batch(tasks: Sequence[SolveTask]) -> list[LossRateResult]:
+    return solve_task_batch(list(tasks))
 
 
 def _sample_rate_trace(

@@ -14,7 +14,11 @@ numerical path and compares:
   of Eq. 9 (:func:`~repro.queueing.fluid_sim.simulate_source_queue`);
 * :class:`MarkovEquivalenceOracle` — Section IV's claim that a Markov
   (hyperexponential) model matching the correlation structure predicts
-  the same loss, computed with the spectral MMFQ solver.
+  the same loss, computed with the spectral MMFQ solver;
+* :class:`BatchedSoloOracle` — the v3 stacked multi-task kernel against
+  one-at-a-time solves of the same tasks; the batched path promises
+  bit-identical results, so the comparison is exact equality, not a
+  tolerance.
 """
 
 from __future__ import annotations
@@ -24,10 +28,12 @@ from dataclasses import replace
 
 import numpy as np
 
+from repro.exec.task import SolveTask
 from repro.verify.checks import CheckContext, CheckOutcome
 from repro.verify.scenario import Scenario
 
 __all__ = [
+    "BatchedSoloOracle",
     "BoundOrderingOracle",
     "MarkovEquivalenceOracle",
     "MonteCarloOracle",
@@ -92,6 +98,94 @@ class SpectralDirectOracle:
                 divergence=worst,
             )
         return CheckOutcome.ok(self.name, divergence=worst)
+
+
+class BatchedSoloOracle:
+    """The stacked kernel must reproduce per-task solves *bit for bit*.
+
+    Builds a small shape-homogeneous batch — the scenario's task plus
+    buffer-scaled siblings sharing its solver configuration — solves it
+    through the batched hook, solves every member solo through the
+    per-task hook, and requires exact equality of every result field.
+    The batched kernel's contract is bit-identity (stacked real FFTs
+    transform rows independently), so any nonzero difference is a bug,
+    not round-off; the FFT threshold is forced to zero so the stacked
+    spectral path genuinely engages at fuzz-sized grids.
+    """
+
+    name = "batched_vs_solo"
+    kind = "oracle"
+    expensive = False
+
+    def __init__(
+        self, iterations: int = 192, buffer_factors: tuple[float, ...] = (1.0, 1.25, 1.5)
+    ) -> None:
+        if len(buffer_factors) < 2:
+            raise ValueError("buffer_factors needs >= 2 members to form a batch")
+        self.iterations = iterations
+        self.buffer_factors = buffer_factors
+
+    def applies(self, scenario: Scenario) -> bool:
+        return _has_loss_path(scenario) and scenario.normalized_buffer > 0.0
+
+    def run(self, scenario: Scenario, ctx: CheckContext) -> CheckOutcome:
+        base = scenario.config
+        fixed = replace(
+            base,
+            max_bins=base.initial_bins,  # matched budgets, as the kernel pair oracle
+            relative_gap=1e-12,
+            negligible_loss=0.0,
+            max_iterations=self.iterations,
+            block_iterations=self.iterations,
+            use_fft=True,
+            fft_threshold_bins=0,  # engage the stacked spectral path
+        )
+        buffers = [
+            scenario.normalized_buffer * factor for factor in self.buffer_factors
+        ]
+        tasks = [
+            SolveTask(
+                source=scenario.source,
+                utilization=scenario.utilization,
+                normalized_buffer=buffer,
+                config=fixed,
+            )
+            for buffer in buffers
+        ]
+        batched = ctx.solve_batch(tasks)
+        if len(batched) != len(tasks):
+            return CheckOutcome.fail(
+                self.name,
+                f"batched solve returned {len(batched)} results for {len(tasks)} tasks",
+            )
+        solo = [ctx.solve(task) for task in tasks]
+        for position, (from_batch, from_solo) in enumerate(zip(batched, solo)):
+            exact = (
+                from_batch.lower == from_solo.lower
+                and from_batch.upper == from_solo.upper
+                and from_batch.iterations == from_solo.iterations
+                and from_batch.bins == from_solo.bins
+                and from_batch.converged == from_solo.converged
+                and from_batch.negligible == from_solo.negligible
+            )
+            if not exact:
+                return CheckOutcome.fail(
+                    self.name,
+                    "batched and solo solves differ (the stacked kernel "
+                    "promises bit-identity)",
+                    member=float(position),
+                    normalized_buffer=buffers[position],
+                    batched_lower=from_batch.lower,
+                    batched_upper=from_batch.upper,
+                    solo_lower=from_solo.lower,
+                    solo_upper=from_solo.upper,
+                )
+        return CheckOutcome.ok(
+            self.name,
+            members=float(len(tasks)),
+            lower=solo[0].lower,
+            upper=solo[0].upper,
+        )
 
 
 class BoundOrderingOracle:

@@ -31,6 +31,7 @@ from repro.verify.metamorphic import (
     ShuffleInvarianceRelation,
 )
 from repro.verify.oracles import (
+    BatchedSoloOracle,
     BoundOrderingOracle,
     MarkovEquivalenceOracle,
     MonteCarloOracle,
@@ -48,9 +49,10 @@ __all__ = [
 
 
 def default_checks() -> list[VerifyCheck]:
-    """The standard check battery (4 oracles + 5 metamorphic relations)."""
+    """The standard check battery (5 oracles + 5 metamorphic relations)."""
     return [
         SpectralDirectOracle(),
+        BatchedSoloOracle(),
         BoundOrderingOracle(),
         BufferMonotonicityRelation(),
         ServiceMonotonicityRelation(),

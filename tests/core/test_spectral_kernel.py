@@ -204,5 +204,5 @@ class TestKernelCounters:
 
 
 def test_solver_version_is_current():
-    """The spectral kernel is solver revision 2; bump alongside kernel changes."""
-    assert SOLVER_VERSION == 2
+    """The stacked spectral kernel is solver revision 3; bump alongside kernel changes."""
+    assert SOLVER_VERSION == 3

@@ -83,6 +83,55 @@ class TestSolveCache:
         assert SolveCache(tmp_path).get("k1") is None
 
 
+class TestBulkApi:
+    def test_get_many_preserves_order_and_accounting(self, tmp_path):
+        cache = SolveCache(tmp_path)
+        cache.put("k1", RESULT)
+        cache.put("k3", RESULT)
+        loaded = cache.get_many(["k1", "k2", "k3", "k4"])
+        assert loaded == [RESULT, None, RESULT, None]
+        assert cache.hits == 2
+        assert cache.misses == 2
+
+    def test_get_many_of_nothing(self, tmp_path):
+        cache = SolveCache(tmp_path)
+        assert cache.get_many([]) == []
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_put_many_round_trips_and_counts_fresh_writes(self, tmp_path):
+        cache = SolveCache(tmp_path)
+        assert cache.put_many([("k1", RESULT), ("k2", RESULT)]) == 2
+        reopened = SolveCache(tmp_path)
+        assert reopened.get("k1") == RESULT
+        assert reopened.get("k2") == RESULT
+
+    def test_put_many_skips_present_keys(self, tmp_path):
+        cache = SolveCache(tmp_path)
+        cache.put("k1", RESULT)
+        written = cache.put_many([("k1", RESULT), ("k2", RESULT)])
+        assert written == 1
+        lines = cache.path.read_text().strip().splitlines()
+        assert len(lines) == 2  # one line per distinct key, no duplicates
+
+    def test_put_many_appends_one_write_per_batch(self, tmp_path):
+        # The whole batch lands as consecutive intact JSON lines even when
+        # another writer left a truncated trailing line first.
+        cache = SolveCache(tmp_path)
+        cache.put("k0", RESULT)
+        with cache.path.open("a") as handle:
+            handle.write('{"key": "dead", "lower": 0.1')  # crashed writer
+        cache.put_many([(f"b{i}", RESULT) for i in range(5)])
+        reopened = SolveCache(tmp_path)
+        assert len(reopened) == 6
+        assert all(f"b{i}" in reopened for i in range(5))
+        assert "dead" not in reopened
+
+    def test_empty_put_many_is_a_noop(self, tmp_path):
+        cache = SolveCache(tmp_path)
+        assert cache.put_many([]) == 0
+        assert not cache.path.exists() or cache.path.read_text() == ""
+
+
 class TestConcurrentWriters:
     def test_truncated_trailing_line_is_tolerated_and_repaired(self, tmp_path):
         cache = SolveCache(tmp_path)

@@ -125,6 +125,65 @@ def test_class_var_and_unknown_classes_are_ignored(lint_tree):
     )
 
 
+GROUPED = {
+    "repro/exec/task.py": """\
+    from dataclasses import dataclass
+
+    @dataclass(frozen=True)
+    class Task:
+        source: object
+        utilization: float
+        config: object = None
+
+        def payload(self):
+            return {
+                "kind": "task",
+                "source": repr(self.source),
+                "utilization": self.utilization,
+                "config": repr(self.config),
+            }
+
+        def group_key(self):
+            return {"kind": "task_group", "config": repr(self.config)}
+    """
+}
+
+
+def test_group_key_subset_of_payload_is_clean(lint_tree):
+    assert lint_tree(GROUPED, select=["FPR"]) == []
+
+
+def test_group_key_outside_payload_fires(lint_tree):
+    files = {
+        "repro/exec/task.py": GROUPED["repro/exec/task.py"].replace(
+            '"config": repr(self.config)}',
+            '"config": repr(self.config), "shard": 7}',
+        )
+    }
+    findings = lint_tree(files, select=["FPR"])
+    assert [f.rule for f in findings] == ["FPR001"]
+    assert "'shard'" in findings[0].message
+    assert "group_key" in findings[0].message
+
+
+def test_group_key_without_literal_payload_is_skipped(lint_tree):
+    # No dict-literal payload to compare against: partial knowledge, no finding.
+    findings = lint_tree(
+        {
+            "repro/exec/task.py": """\
+            class Task:
+                def payload(self):
+                    return self._payload
+
+                def group_key(self):
+                    return {"kind": "g", "mystery": 1}
+            """
+        },
+        select=["FPR"],
+    )
+    assert findings == []
+
+
 def test_adding_unfingerprinted_field_to_real_solver_config_is_caught(
     lint_tree, repo_root: Path
 ):

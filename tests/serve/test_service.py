@@ -273,3 +273,38 @@ class TestStats:
         assert stats["latency_s"]["queue"]["count"] == 2
         assert stats["latency_s"]["solve"]["p99_s"] >= 0.0
         assert stats["engine"]["cells"] == 0.0  # stub telemetry records nothing
+        assert stats["batches"] == {
+            "batched_tasks": 0,
+            "fallback_solo": 0,
+            "shapes": {},
+        }
+
+    def test_stats_surface_batch_counters_from_engine_telemetry(self):
+        from repro.exec.telemetry import CellTelemetry
+
+        engine = GateEngine()
+
+        def cell(index: int, width: int, cached: bool = False) -> CellTelemetry:
+            return CellTelemetry(
+                index=index, key=f"k{index}", seconds=0.0, iterations=1,
+                bins=64, converged=True, negligible=False, cached=cached,
+                batch_width=width,
+            )
+
+        # Three cells stacked four wide, one solo, one cache hit: the hit
+        # must not count toward either batching bucket.
+        engine.telemetry.record(cell(0, width=4))
+        engine.telemetry.record(cell(1, width=4))
+        engine.telemetry.record(cell(2, width=4))
+        engine.telemetry.record(cell(3, width=1))
+        engine.telemetry.record(cell(4, width=8, cached=True))
+        service = QueryService(engine)
+        try:
+            stats = service.stats()
+        finally:
+            service.close()
+        assert stats["batches"]["batched_tasks"] == 3
+        assert stats["batches"]["fallback_solo"] == 1
+        assert stats["batches"]["shapes"] == {"4": 3}
+        assert stats["engine"]["batched_tasks"] == 3.0
+        assert stats["engine"]["fallback_solo"] == 1.0

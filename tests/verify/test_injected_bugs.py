@@ -20,6 +20,7 @@ from repro.core.results import LossRateResult
 from repro.core.source import CutoffFluidSource
 from repro.exec.task import SolveTask
 from repro.verify import (
+    BatchedSoloOracle,
     BoundOrderingOracle,
     BufferMonotonicityRelation,
     CheckContext,
@@ -117,6 +118,29 @@ def test_monte_carlo_oracle_fires_on_biased_solver(lossy_scenario):
     assert_fires(check, lossy_scenario, ctx)
 
 
+def test_batched_solo_oracle_fires_on_lying_batch_path(lossy_scenario):
+    # The stacked kernel promises bit-identity, so even a one-ulp-scale
+    # perturbation of a single batch member must trip the oracle.
+    def skewed_batch(tasks):
+        results = [task.run() for task in tasks]
+        results[-1] = replace(
+            results[-1],
+            lower=results[-1].lower * (1.0 + 1e-9),
+            upper=results[-1].upper * (1.0 + 1e-9),
+        )
+        return results
+
+    check = BatchedSoloOracle()
+    assert_honest_pass(check, lossy_scenario)
+    assert_fires(check, lossy_scenario, CheckContext(solve_batch=skewed_batch))
+
+
+def test_batched_solo_oracle_fires_on_short_batch(lossy_scenario):
+    check = BatchedSoloOracle()
+    ctx = CheckContext(solve_batch=lambda tasks: [tasks[0].run()])
+    assert_fires(check, lossy_scenario, ctx)
+
+
 def test_markov_oracle_fires_on_decade_scale_bias(lossy_scenario):
     check = MarkovEquivalenceOracle()
     assert_honest_pass(check, lossy_scenario)
@@ -210,6 +234,7 @@ def test_every_default_check_is_covered():
 
     covered = {
         "spectral_vs_direct",
+        "batched_vs_solo",
         "bound_ordering",
         "solver_vs_monte_carlo",
         "solver_vs_markov",

@@ -36,8 +36,8 @@ class StubCheck:
 
 def test_default_battery_shape():
     battery = default_checks()
-    assert len(battery) == 9
-    assert sum(1 for c in battery if c.kind == "oracle") == 4
+    assert len(battery) == 10
+    assert sum(1 for c in battery if c.kind == "oracle") == 5
     assert sum(1 for c in battery if c.kind == "metamorphic") == 5
     assert sum(1 for c in battery if c.expensive) == 4
 
