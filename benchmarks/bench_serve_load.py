@@ -1,41 +1,51 @@
 """Load generation against the serving layer — the queueing system serving
 the queueing theory.
 
-Drives an in-process ``repro.serve`` server (warm process-pool engine,
-bounded admission queue) with three arrival schedules and records
-client-side throughput, latency percentiles and shedding:
+Drives the in-process asyncio ``repro.serve`` server (warm process-pool
+engine, memory LRU + singleflight tiers, bounded admission queue) with
+open-loop arrival schedules and records client-side throughput, latency
+percentiles and shedding:
 
-* **poisson** — open-loop Poisson arrivals at a sustainable rate: the
-  steady-traffic regime; p99 should stay bounded and nothing sheds.
-* **onoff** — bursty on/off arrivals (the paper's own traffic model
-  applied to the service): bursts exceed the service rate, the bounded
-  queue absorbs what it can and 429-sheds the excess gracefully.
+* **poisson** — open-loop Poisson arrivals at a high sustained rate: the
+  short-range-dependent baseline; p99 should stay bounded and nothing
+  sheds.
+* **fgn** — Poisson arrivals modulated by the repo's own exact fractional
+  Gaussian noise rate process (H = 0.85): the paper's LRD regime, where
+  burst sits on burst at every timescale.
+* **onoff** — Poisson arrivals modulated by the aggregate rate of heavy-
+  tailed on/off sources (``alpha = 1.4`` → H = 0.8): Willinger-style
+  LRD built from the paper's own source construction.
 * **flood** — an instantaneous burst of several times the admission
   limit in *distinct* requests: demonstrates hard overload behaviour —
   bounded queue depth, 429 + Retry-After for the excess, zero 5xx.
+  Completed and shed requests are reported as two explicit latency
+  populations (a 429 is fast by design; mixing it into the completed
+  percentiles would flatter them).
 
 Requests mix distinct loss solves (the expensive path), repeat solves
-(coalescing/cache hits) and analytic horizon queries.  Results are
-persisted to ``benchmarks/results/perf_serve_load.txt``.
+(singleflight joins + memory-LRU hits) and analytic horizon queries.
+Results are persisted to ``benchmarks/results/perf_serve_load.txt``.
 
 Run directly (``PYTHONPATH=src python benchmarks/bench_serve_load.py``,
-add ``--quick`` for a shorter run) or let CI exercise the smoke test
-(``pytest benchmarks/bench_serve_load.py::test_serve_smoke``).
+add ``--quick`` for a shorter run) or let CI exercise the smoke and
+throughput-gate tests (``pytest benchmarks/bench_serve_load.py``).
 """
 
 from __future__ import annotations
 
+import asyncio
+import json
 import sys
-import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from _common import persist
 from repro.exec import ProcessPoolBackend, SolveCache, SweepEngine
-from repro.serve import QueryService, ServeClient, ServeError, make_server
+from repro.serve import QueryService, ServeClient, make_server
+from repro.traffic.fgn import generate_fgn
+from repro.traffic.onoff import aggregate_onoff_rates
 
 SEED = 20260806
 JOBS = 4
@@ -47,6 +57,7 @@ BATCH_DELAY_S = 0.01
 SOLVE_FIELDS = {"hurst": 0.75, "cutoff": 2.0, "initial_bins": 64,
                 "max_bins": 128, "relative_gap": 0.3, "timeout_s": 60.0}
 DISTINCT_BUFFERS = 12
+CONCURRENCY = 512  # client-side cap on simultaneous in-flight requests
 
 
 # --------------------------------------------------------------------- #
@@ -54,7 +65,7 @@ DISTINCT_BUFFERS = 12
 # --------------------------------------------------------------------- #
 
 def _start_server(tmp_cache_dir: str | None = None):
-    """In-process server on a free port over a warm 4-worker engine."""
+    """In-process asyncio server on a free port over a warm 4-worker engine."""
     cache = SolveCache(tmp_cache_dir) if tmp_cache_dir else None
     engine = SweepEngine(backend=ProcessPoolBackend(jobs=JOBS), cache=cache)
     service = QueryService(
@@ -72,34 +83,90 @@ def _start_server(tmp_cache_dir: str | None = None):
 
 @dataclass
 class _Tally:
-    """Client-side accounting for one schedule."""
+    """Client-side accounting for one schedule.
+
+    Completed (2xx) and shed (429) requests are tracked as two separate
+    latency populations; percentile rows never mix them.
+    """
 
     latencies: list[float] = field(default_factory=list)
-    shed: int = 0
+    shed_latencies: list[float] = field(default_factory=list)
     server_errors: int = 0
     other_errors: int = 0
-    _lock: threading.Lock = field(default_factory=threading.Lock)
 
-    def record(self, seconds: float) -> None:
-        with self._lock:
+    @property
+    def shed(self) -> int:
+        return len(self.shed_latencies)
+
+    def record(self, status: int, seconds: float) -> None:
+        if status == 200:
             self.latencies.append(seconds)
+        elif status == 429:
+            self.shed_latencies.append(seconds)
+        elif status >= 500:
+            self.server_errors += 1
+        else:
+            self.other_errors += 1
 
-    def reject(self, status: int) -> None:
-        with self._lock:
-            if status == 429:
-                self.shed += 1
-            elif status >= 500:
-                self.server_errors += 1
-            else:
-                self.other_errors += 1
-
-    def percentile(self, level: float) -> float:
-        with self._lock:
-            ordered = sorted(self.latencies)
+    @staticmethod
+    def _percentile(ordered: list[float], level: float) -> float:
         if not ordered:
             return 0.0
         rank = max(1, -(-int(level * 100) * len(ordered) // 100))
         return ordered[min(rank, len(ordered)) - 1]
+
+    def percentile(self, level: float) -> float:
+        return self._percentile(sorted(self.latencies), level)
+
+    def shed_percentile(self, level: float) -> float:
+        return self._percentile(sorted(self.shed_latencies), level)
+
+
+async def _post(port: int, body: bytes) -> int:
+    """One POST /v1/query over a fresh connection; returns the HTTP status."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        writer.write(
+            b"POST /v1/query HTTP/1.1\r\n"
+            b"Host: 127.0.0.1\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+            b"Connection: close\r\n\r\n" + body
+        )
+        await writer.drain()
+        status_line = await reader.readline()
+        status = int(status_line.split()[1])
+        # Frame by Content-Length rather than read-to-EOF: correct HTTP,
+        # and robust should any forked process pin a connection fd open.
+        length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        if length:
+            await reader.readexactly(length)
+        return status
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def _fire(port: int, body: dict, tally: _Tally,
+                limiter: asyncio.Semaphore) -> None:
+    encoded = json.dumps(body).encode()
+    async with limiter:
+        start = time.perf_counter()
+        try:
+            status = await _post(port, encoded)
+            tally.record(status, time.perf_counter() - start)
+        except Exception:
+            tally.other_errors += 1
 
 
 def _request_body(index: int, rng: np.random.Generator) -> dict:
@@ -110,30 +177,27 @@ def _request_body(index: int, rng: np.random.Generator) -> dict:
     return {"kind": "loss", "buffer": buffer, **SOLVE_FIELDS}
 
 
-def _fire(client: ServeClient, body: dict, tally: _Tally) -> None:
-    start = time.perf_counter()
-    try:
-        client.query(body)
-        tally.record(time.perf_counter() - start)
-    except ServeError as error:
-        tally.reject(error.status)
-    except Exception:
-        tally.reject(0)
-
-
-def _run_schedule(client: ServeClient, arrivals: np.ndarray,
-                  rng: np.random.Generator, workers: int = 64) -> tuple[_Tally, float]:
+async def _run_schedule(port: int, arrivals: np.ndarray,
+                        rng: np.random.Generator) -> tuple[_Tally, float]:
     """Open-loop: fire request i at absolute offset ``arrivals[i]`` seconds."""
     tally = _Tally()
-    start = time.monotonic()
-    with ThreadPoolExecutor(max_workers=workers) as pool:
-        for index, offset in enumerate(arrivals):
-            delay = start + float(offset) - time.monotonic()
-            if delay > 0:
-                time.sleep(delay)
-            pool.submit(_fire, client, _request_body(index, rng), tally)
-    return tally, time.monotonic() - start
+    limiter = asyncio.Semaphore(CONCURRENCY)
+    loop = asyncio.get_running_loop()
+    bodies = [_request_body(index, rng) for index in range(len(arrivals))]
+    tasks = []
+    start = loop.time()
+    for offset, body in zip(arrivals, bodies):
+        delay = start + float(offset) - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        tasks.append(asyncio.ensure_future(_fire(port, body, tally, limiter)))
+    await asyncio.gather(*tasks)
+    return tally, loop.time() - start
 
+
+# --------------------------------------------------------------------- #
+# arrival schedules
+# --------------------------------------------------------------------- #
 
 def _poisson_arrivals(rate_hz: float, duration_s: float,
                       rng: np.random.Generator) -> np.ndarray:
@@ -142,31 +206,58 @@ def _poisson_arrivals(rate_hz: float, duration_s: float,
     return times[times < duration_s]
 
 
-def _onoff_arrivals(burst_rate_hz: float, burst_s: float, idle_s: float,
-                    duration_s: float) -> np.ndarray:
-    times: list[float] = []
-    cursor = 0.0
-    while cursor < duration_s:
-        burst_end = min(cursor + burst_s, duration_s)
-        times.extend(np.arange(cursor, burst_end, 1.0 / burst_rate_hz))
-        cursor = burst_end + idle_s
-    return np.asarray(times)
+def _modulated_arrivals(rates_hz: np.ndarray, bin_width_s: float,
+                        rng: np.random.Generator) -> np.ndarray:
+    """Doubly stochastic Poisson arrivals: per-bin rate → per-bin counts.
+
+    Within each bin arrivals are uniform, so all burstiness comes from
+    the modulating rate process — fGn or aggregate on/off — which is
+    what makes the schedule long-range dependent.
+    """
+    counts = rng.poisson(np.clip(rates_hz, 0.0, None) * bin_width_s)
+    times = [
+        (index + rng.random(count)) * bin_width_s
+        for index, count in enumerate(counts)
+        if count
+    ]
+    if not times:
+        return np.asarray([])
+    return np.sort(np.concatenate(times))
 
 
-def _flood(client: ServeClient, n_requests: int) -> _Tally:
+def _fgn_rates(mean_hz: float, duration_s: float, bin_width_s: float,
+               hurst: float, rng: np.random.Generator) -> np.ndarray:
+    """fGn-modulated rate process: mean ``mean_hz``, CoV ~0.5, floored at 0."""
+    bins = max(2, int(round(duration_s / bin_width_s)))
+    noise = generate_fgn(bins, hurst, rng)
+    return np.clip(mean_hz * (1.0 + 0.5 * noise), 0.0, None)
+
+
+def _onoff_rates(mean_hz: float, duration_s: float, bin_width_s: float,
+                 rng: np.random.Generator, alpha: float = 1.4) -> np.ndarray:
+    """Aggregate heavy-tailed on/off sources rescaled to ``mean_hz`` requests/s."""
+    rates = aggregate_onoff_rates(
+        sources=32, duration=duration_s, bin_width=bin_width_s, rng=rng,
+        alpha=alpha, mean_period=0.5, peak_rate=1.0,
+    )
+    scale = mean_hz / max(float(rates.mean()), 1e-9)
+    return rates * scale
+
+
+async def _flood(port: int, n_requests: int) -> _Tally:
     """All requests at once, each a *distinct* solve (nothing coalesces)."""
     tally = _Tally()
+    limiter = asyncio.Semaphore(CONCURRENCY)
     bodies = [
         {"kind": "loss", "buffer": 0.25 + 0.003 * i, **SOLVE_FIELDS}
         for i in range(n_requests)
     ]
-    with ThreadPoolExecutor(max_workers=n_requests) as pool:
-        for body in bodies:
-            pool.submit(_fire, client, body, tally)
+    await asyncio.gather(*(_fire(port, body, tally, limiter) for body in bodies))
     return tally
 
 
-def _format_section(name: str, offered: int, tally: _Tally, duration: float) -> list[str]:
+def _format_section(name: str, offered: int, tally: _Tally,
+                    duration: float) -> list[str]:
     completed = len(tally.latencies)
     lines = [
         f"[{name}]",
@@ -177,16 +268,22 @@ def _format_section(name: str, offered: int, tally: _Tally, duration: float) -> 
         f"  other_errors          {tally.other_errors}",
         f"  duration_s            {duration:.2f}",
         f"  throughput_rps        {completed / duration if duration else 0.0:.1f}",
-        f"  latency_p50_s         {tally.percentile(0.50):.4f}",
-        f"  latency_p90_s         {tally.percentile(0.90):.4f}",
-        f"  latency_p99_s         {tally.percentile(0.99):.4f}",
-        "",
+        f"  completed_p50_s       {tally.percentile(0.50):.4f}",
+        f"  completed_p90_s       {tally.percentile(0.90):.4f}",
+        f"  completed_p99_s       {tally.percentile(0.99):.4f}",
     ]
+    if tally.shed:
+        lines += [
+            f"  shed_p50_s            {tally.shed_percentile(0.50):.4f}",
+            f"  shed_p99_s            {tally.shed_percentile(0.99):.4f}",
+            "  (completed and shed latencies are disjoint populations)",
+        ]
+    lines.append("")
     return lines
 
 
 # --------------------------------------------------------------------- #
-# CI smoke test
+# CI tests
 # --------------------------------------------------------------------- #
 
 def test_serve_smoke(tmp_path):
@@ -199,9 +296,14 @@ def test_serve_smoke(tmp_path):
         bodies += [{"kind": "dimension", "hurst": 0.7, "cutoff": 2.0, "buffer": 0.3,
                     "target_loss": 1e-2, "relative_gap": 0.5,
                     "initial_bins": 32, "max_bins": 64}] * 3
-        with ThreadPoolExecutor(max_workers=16) as pool:
-            for body in bodies:
-                pool.submit(_fire, client, body, tally)
+
+        async def drive() -> None:
+            limiter = asyncio.Semaphore(16)
+            await asyncio.gather(
+                *(_fire(server.port, body, tally, limiter) for body in bodies)
+            )
+
+        asyncio.run(drive())
         stats = client.stats()
     finally:
         server.close()  # graceful drain must not raise
@@ -213,6 +315,35 @@ def test_serve_smoke(tmp_path):
     # Generous bound: tiny solves through a warm pool; catches hangs and
     # pathological queueing, not honest scheduler jitter.
     assert tally.percentile(0.99) < 10.0
+    assert stats["errors"] == 0
+    assert stats["singleflight"]["leaders"] >= 1
+    assert "memory_lru" in stats
+
+
+def test_serve_rps_gate(tmp_path):
+    """Throughput gate: sustained Poisson load at 2x the seed's 42 rps.
+
+    The thread-per-connection seed sustained 42 rps; the asyncio front
+    end must clear at least double that on the same request mix, with
+    zero 5xx.  Offered load (250 rps) is far above the gate so the gate
+    measures serving capacity, not the schedule.
+    """
+    server, client = _start_server(str(tmp_path / "serve-cache"))
+    rng = np.random.default_rng(SEED + 1)
+    try:
+        arrivals = _poisson_arrivals(rate_hz=250.0, duration_s=4.0, rng=rng)
+        tally, elapsed = asyncio.run(_run_schedule(server.port, arrivals, rng))
+        stats = client.stats()
+    finally:
+        server.close()
+
+    throughput = len(tally.latencies) / elapsed
+    assert tally.server_errors == 0, "5xx responses under gate load"
+    assert tally.other_errors == 0
+    assert throughput >= 84.0, (
+        f"sustained throughput {throughput:.1f} rps is below the 84 rps gate "
+        f"(2x the 42 rps thread-per-connection seed)"
+    )
     assert stats["errors"] == 0
 
 
@@ -227,36 +358,46 @@ def main(argv: list[str] | None = None) -> int:
 
     lines = [
         "Serving-layer load benchmark (bench_serve_load.py)",
-        f"engine: ProcessPoolBackend(jobs={JOBS}), batch<= {BATCH_SIZE} "
-        f"@ {BATCH_DELAY_S * 1000:.0f}ms, admission queue <= {MAX_QUEUE}",
+        f"asyncio front end; engine: ProcessPoolBackend(jobs={JOBS}), "
+        f"batch<= {BATCH_SIZE} @ {BATCH_DELAY_S * 1000:.0f}ms, "
+        f"admission queue <= {MAX_QUEUE}",
         f"solve mix: {DISTINCT_BUFFERS} distinct tasks, 15% analytic horizon queries",
+        "LRD schedules are doubly stochastic Poisson driven by the repo's own",
+        "fGn (H=0.85) and heavy-tailed on/off (alpha=1.4 -> H=0.8) rate processes.",
         "",
     ]
 
     server, client = _start_server()
     try:
-        # Warm the pool and the per-task coalescing windows once.
-        _fire(client, _request_body(0, rng), _Tally())
+        # Warm the pool and the memory tier's first-touch windows once.
+        asyncio.run(_flood(server.port, 1))
 
-        arrivals = _poisson_arrivals(rate_hz=40.0, duration_s=duration, rng=rng)
-        tally, elapsed = _run_schedule(client, arrivals, rng)
+        arrivals = _poisson_arrivals(rate_hz=600.0, duration_s=duration, rng=rng)
+        tally, elapsed = asyncio.run(_run_schedule(server.port, arrivals, rng))
         lines += _format_section(
-            f"open-loop poisson @ 40 rps, {duration:.0f}s",
+            f"open-loop poisson @ 600 rps, {duration:.0f}s",
             len(arrivals), tally, elapsed,
         )
 
-        arrivals = _onoff_arrivals(
-            burst_rate_hz=150.0, burst_s=0.5, idle_s=0.5, duration_s=duration
-        )
-        tally, elapsed = _run_schedule(client, arrivals, rng)
+        rates = _fgn_rates(400.0, duration, bin_width_s=0.1, hurst=0.85, rng=rng)
+        arrivals = _modulated_arrivals(rates, bin_width_s=0.1, rng=rng)
+        tally, elapsed = asyncio.run(_run_schedule(server.port, arrivals, rng))
         lines += _format_section(
-            f"bursty on/off @ 150 rps x 0.5s bursts, {duration:.0f}s",
+            f"LRD fGn-modulated poisson, mean 400 rps, H=0.85, {duration:.0f}s",
+            len(arrivals), tally, elapsed,
+        )
+
+        rates = _onoff_rates(400.0, duration, bin_width_s=0.05, rng=rng)
+        arrivals = _modulated_arrivals(rates, bin_width_s=0.05, rng=rng)
+        tally, elapsed = asyncio.run(_run_schedule(server.port, arrivals, rng))
+        lines += _format_section(
+            f"LRD on/off-modulated poisson, mean 400 rps, alpha=1.4, {duration:.0f}s",
             len(arrivals), tally, elapsed,
         )
 
         flood_n = 3 * MAX_QUEUE
         start = time.monotonic()
-        tally = _flood(client, flood_n)
+        tally = asyncio.run(_flood(server.port, flood_n))
         elapsed = time.monotonic() - start
         lines += _format_section(
             f"flood: {flood_n} distinct solves at once (queue limit {MAX_QUEUE})",
@@ -268,7 +409,10 @@ def main(argv: list[str] | None = None) -> int:
             "[server /stats after run]",
             f"  accepted              {stats['accepted']}",
             f"  completed             {stats['completed']}",
-            f"  coalesce_hits         {stats['coalesce']['hits']}",
+            f"  singleflight_joins    {stats['singleflight']['hits']}",
+            f"  memory_lru_hits       {stats['memory_lru']['hits']}",
+            f"  memory_lru_misses     {stats['memory_lru']['misses']}",
+            f"  memory_lru_evictions  {stats['memory_lru']['evictions']}",
             f"  engine_cache_hits     {stats['engine']['cache_hits']:.0f}",
             f"  backend_solves        {stats['engine']['cache_misses']:.0f}",
             f"  batches               {stats['queue']['batches']}",

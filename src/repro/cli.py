@@ -135,6 +135,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=30.0, metavar="SECONDS",
         help="default per-request timeout (requests may override)",
     )
+    serve.add_argument(
+        "--lru-entries", type=int, default=None, metavar="N",
+        help="in-memory LRU result-tier entry bound "
+             "(default: the solve cache's hint, else 4096)",
+    )
+    serve.add_argument(
+        "--lru-bytes", type=int, default=None, metavar="BYTES",
+        help="approximate in-memory LRU footprint bound (default: unbounded)",
+    )
     _add_engine_flags(serve)
 
     cache = sub.add_parser("cache", help="inspect or maintain the persistent solve cache")
@@ -312,6 +321,8 @@ def _run_serve(args: argparse.Namespace) -> int:
         batch_delay_s=args.batch_delay,
         max_queue=args.max_queue,
         default_timeout_s=args.timeout,
+        lru_entries=args.lru_entries,
+        lru_bytes=args.lru_bytes,
     )
     server = make_server(args.host, args.port, service)
     print(

@@ -168,6 +168,25 @@ class ProcessPoolBackend:
             self._pool = ProcessPoolExecutor(max_workers=self.jobs, mp_context=context)
         return self._pool
 
+    def warm(self) -> None:
+        """Spawn every worker now instead of lazily at the first solve.
+
+        ``fork``-start workers inherit every file descriptor open at fork
+        time.  A worker forked while a server holds accepted sockets keeps
+        those sockets alive after the parent closes them — the peer never
+        sees EOF.  Long-lived hosts (the serving layer) call this before
+        opening any listener so that no worker can ever hold a connection.
+        Each sleeper below occupies one worker for the full round, so the
+        executor's on-demand spawning is forced to start all ``jobs``
+        processes before the round resolves.  Idempotent; cheap when warm.
+        """
+        from concurrent.futures import wait
+
+        if self.jobs == 1:
+            return  # the single-job paths never touch the pool
+        pool = self._executor()
+        wait([pool.submit(time.sleep, 0.1) for _ in range(self.jobs)])
+
     def run(
         self, tasks: Sequence[tuple[int, SolveTask]]
     ) -> Iterator[tuple[int, LossRateResult, float]]:

@@ -18,10 +18,17 @@ code relies on — but never wrote down — are:
   socket/HTTP I/O, sleeps) while holding a lock.  ``Condition.wait`` is
   fine — it releases the lock — but parking a thread inside a critical
   section stalls every other thread at the lock.
+* **ASY001** — the asyncio sibling of CON003: no blocking call inside an
+  ``async def`` body.  The serving event loop is a shared resource — one
+  ``time.sleep``, one synchronous ``SolveCache`` read or one
+  ``Queue.get`` on the loop stalls *every* connection, not just the
+  offender — so blocking work must go through ``run_in_executor``.
+  Awaited calls are exempt (``await asyncio.sleep`` /
+  ``await queue.get`` are how the loop is *supposed* to park).
 
-All three are syntactic by design: they catch the overwhelmingly common
-shapes (``with self._lock:``) and stay silent on exotic ones rather than
-guessing.
+All four are syntactic by design: they catch the overwhelmingly common
+shapes (``with self._lock:``, a bare ``time.sleep(...)`` statement) and
+stay silent on exotic ones rather than guessing.
 """
 
 from __future__ import annotations
@@ -41,9 +48,11 @@ from repro.lintkit.engine import LintContext, SourceFile
 from repro.lintkit.model import Finding, Rule, register
 
 __all__ = [
+    "BlockingCallInAsyncRule",
     "BlockingCallUnderLockRule",
     "LockOrderRule",
     "UnlockedSharedWriteRule",
+    "ASYNC_BLOCKING_IO_NAMES",
     "BLOCKING_CALL_NAMES",
 ]
 
@@ -67,6 +76,14 @@ BLOCKING_CALL_NAMES = frozenset(
     }
 )
 """Call names treated as blocking when they appear under a held lock."""
+
+ASYNC_BLOCKING_IO_NAMES = frozenset({"get", "put", "get_many", "put_many"})
+"""Cache/queue I/O methods treated as blocking on the event loop.
+
+Only flagged when the receiver chain names a cache or a queue
+(``self.engine.cache.get_many``, ``work_queue.get``): the same tails on
+a dict or an in-memory LRU are loop-safe.
+"""
 
 
 def _method_map(class_def: ast.ClassDef) -> dict[str, ast.FunctionDef]:
@@ -258,3 +275,53 @@ class BlockingCallUnderLockRule(Rule):
                     f"blocking call {callee}(){where} while holding "
                     f"{', '.join('self.' + name for name in sorted(held))}",
                 )
+
+
+@register
+class BlockingCallInAsyncRule(Rule):
+    """No blocking call inside an ``async def`` body."""
+
+    id = "ASY001"
+    name = "blocking-call-in-async"
+    description = (
+        "a call that can block (time.sleep, sync SolveCache I/O, Queue.get, "
+        "solver work, joins, Future.result, socket I/O) happens inside an "
+        "`async def` body without going through run_in_executor"
+    )
+
+    @staticmethod
+    def _is_awaited(node: ast.Call) -> bool:
+        parent = getattr(node, "_lint_parent", None)
+        return isinstance(parent, ast.Await)
+
+    @staticmethod
+    def _is_blocking(callee: str) -> bool:
+        parts = callee.split(".")
+        if parts[0] == "asyncio":
+            return False  # asyncio.sleep & friends are the loop-safe spellings
+        tail = parts[-1]
+        if tail in BLOCKING_CALL_NAMES:
+            return True
+        if tail in ASYNC_BLOCKING_IO_NAMES:
+            receiver = [part.lower() for part in parts[:-1]]
+            return any("cache" in part or "queue" in part for part in receiver)
+        return False
+
+    def check_file(self, source: SourceFile, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            function = enclosing_function(node)
+            if not isinstance(function, ast.AsyncFunctionDef):
+                continue
+            callee = attr_chain(node.func)
+            if callee is None or self._is_awaited(node):
+                continue
+            if not self._is_blocking(callee):
+                continue
+            yield self.finding(
+                source,
+                node,
+                f"blocking call {callee}() inside async def {function.name}() "
+                f"stalls the event loop; offload it with loop.run_in_executor",
+            )

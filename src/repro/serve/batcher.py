@@ -1,31 +1,36 @@
-"""Size-or-deadline micro-batching of queued work items.
+"""Size-or-deadline micro-batching of queued work items, on the event loop.
 
-A single dispatcher thread sleeps until work arrives, then collects a
-batch: it dispatches as soon as ``batch_size`` items are queued, or when
-``batch_delay_s`` has elapsed since the *first* item of the forming
-batch arrived — whichever comes first.  The collected window is handed
-to the dispatch callback *as one unit*: the serving layer feeds it to
-the engine's batch planner, so shape-compatible queries advance through
-one stacked spectral kernel call instead of N independent solves, and a
-warm process pool receives whole batches.  The deadline bounds how long
-a lone request can be held back (one ``batch_delay_s``, a few tens of
-milliseconds).
+A single collector task sleeps until work arrives, then forms a batch: it
+dispatches as soon as ``batch_size`` items are queued, or when
+``batch_delay_s`` has elapsed since the *first* item of the forming batch
+arrived — whichever comes first.  The collected window is handed to the
+async dispatch callback *as one unit*: the serving layer offloads it to
+the engine's batch planner on an executor thread, so shape-compatible
+queries advance through one stacked spectral kernel call instead of N
+independent solves, and a warm process pool receives whole batches.  The
+deadline bounds how long a lone request can be held back (one
+``batch_delay_s``, a few tens of milliseconds).
 
-Admission control lives at the mouth of the queue: :meth:`submit`
-raises :class:`QueueFullError` when ``max_queue`` items are already
-waiting — the caller sheds the request (HTTP 429) without it ever
-touching the backend — and :class:`BatcherClosedError` once the batcher
-is closing.  :meth:`close` with ``drain=True`` (the default) lets the
-dispatcher finish every queued item before the thread exits, which is
-the graceful-shutdown path.
+Admission control lives at the mouth of the queue: :meth:`submit` raises
+:class:`QueueFullError` when ``max_queue`` items are already waiting —
+the caller sheds the request (HTTP 429) without it ever touching the
+backend — and :class:`BatcherClosedError` once the batcher is closing.
+:meth:`close` with ``drain=True`` (the default) lets the collector finish
+every queued item before its task exits, which is the graceful-shutdown
+path.
+
+Unlike the thread-based predecessor there is no lock: ``submit`` and the
+collector both run on the serving event loop, so the deque and the
+counters are mutated from one thread only.  The dispatch callback is
+awaited between windows — at most one batch is in the engine at a time,
+preserving the engine's single-caller discipline.
 """
 
 from __future__ import annotations
 
-import threading
-import time
+import asyncio
 from collections import deque
-from collections.abc import Callable, Sequence
+from collections.abc import Awaitable, Callable, Sequence
 
 __all__ = ["BatcherClosedError", "MicroBatcher", "QueueFullError"]
 
@@ -39,16 +44,16 @@ class BatcherClosedError(RuntimeError):
 
 
 class MicroBatcher:
-    """Bounded queue drained in batches by a background dispatcher thread.
+    """Bounded queue drained in batches by an event-loop collector task.
 
     Parameters
     ----------
     dispatch:
-        ``dispatch(batch)`` called with 1..``batch_size`` items in arrival
-        order.  It runs on the dispatcher thread and must not raise — the
-        service wraps its dispatch in error handling that fails the
-        affected futures; as a last resort an escaped exception is
-        recorded in :attr:`dispatch_errors` and the loop continues.
+        ``await dispatch(batch)`` called with 1..``batch_size`` items in
+        arrival order.  It runs on the collector task and should not
+        raise — the service wraps its dispatch in error handling that
+        fails the affected futures; as a last resort an escaped exception
+        is recorded in :attr:`dispatch_errors` and the loop continues.
     batch_size:
         Maximum items per dispatched batch (the size trigger).
     batch_delay_s:
@@ -56,11 +61,15 @@ class MicroBatcher:
         item arrives (the deadline trigger).
     max_queue:
         Bound on *waiting* items; ``submit`` beyond it sheds.
+
+    :meth:`start` must be awaited on the serving loop before the first
+    :meth:`submit`; :class:`~repro.serve.service.QueryService` does this
+    when it boots its reactor.
     """
 
     def __init__(
         self,
-        dispatch: Callable[[Sequence[object]], None],
+        dispatch: Callable[[Sequence[object]], Awaitable[None]],
         batch_size: int = 16,
         batch_delay_s: float = 0.02,
         max_queue: int = 256,
@@ -77,125 +86,117 @@ class MicroBatcher:
         self.max_queue = max_queue
 
         self._items: deque[object] = deque()
-        self._cond = threading.Condition()
+        self._wakeup = asyncio.Event()
         self._closed = False
+        self._task: asyncio.Task | None = None
         self.shed = 0
         self.batches = 0
         self.items_dispatched = 0
         self.max_batch = 0
         self.dispatch_errors = 0
-        self._thread = threading.Thread(
-            target=self._loop, name="repro-serve-batcher", daemon=True
-        )
-        self._thread.start()
+
+    async def start(self) -> None:
+        """Spawn the collector task on the running loop (idempotent)."""
+        if self._task is None and not self._closed:
+            self._task = asyncio.get_running_loop().create_task(
+                self._run(), name="repro-serve-batcher"
+            )
 
     # ------------------------------------------------------------------ #
-    # producer side
+    # producer side (loop-confined)
     # ------------------------------------------------------------------ #
 
     def submit(self, item: object) -> None:
         """Enqueue one item, or shed it when the queue is at capacity."""
-        with self._cond:
-            if self._closed:
-                raise BatcherClosedError("batcher is closed")
-            if len(self._items) >= self.max_queue:
-                self.shed += 1
-                raise QueueFullError(
-                    f"queue is full ({self.max_queue} waiting items)"
-                )
-            self._items.append(item)
-            self._cond.notify()
+        if self._closed:
+            raise BatcherClosedError("batcher is closed")
+        if len(self._items) >= self.max_queue:
+            self.shed += 1
+            raise QueueFullError(f"queue is full ({self.max_queue} waiting items)")
+        self._items.append(item)
+        self._wakeup.set()
 
     @property
     def depth(self) -> int:
         """Items currently waiting (excludes the batch being dispatched)."""
-        with self._cond:
-            return len(self._items)
+        return len(self._items)
 
     @property
     def closed(self) -> bool:
-        with self._cond:
-            return self._closed
+        return self._closed
 
     # ------------------------------------------------------------------ #
-    # dispatcher side
+    # collector side
     # ------------------------------------------------------------------ #
 
-    def _collect(self) -> list[object] | None:
-        """Block until a batch is ready; ``None`` means closed and drained."""
-        with self._cond:
-            while not self._items:
-                if self._closed:
-                    return None
-                self._cond.wait()
-            # First item of the forming batch is here; hold the batch open
-            # until it fills or its deadline passes.  Closing cuts the wait
-            # short so drain finishes promptly.
-            deadline = time.monotonic() + self.batch_delay_s
-            while len(self._items) < self.batch_size and not self._closed:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    break
-                self._cond.wait(remaining)
-            take = min(self.batch_size, len(self._items))
-            return [self._items.popleft() for _ in range(take)]
+    async def _collect(self) -> list[object] | None:
+        """Wait until a batch is ready; ``None`` means closed and drained."""
+        while not self._items:
+            if self._closed:
+                return None
+            self._wakeup.clear()
+            await self._wakeup.wait()
+        # First item of the forming batch is here; hold the batch open
+        # until it fills or its deadline passes.  Closing sets the wakeup
+        # event, cutting the wait short so drain finishes promptly.
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.batch_delay_s
+        while len(self._items) < self.batch_size and not self._closed:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                break
+            self._wakeup.clear()
+            try:
+                await asyncio.wait_for(self._wakeup.wait(), remaining)
+            except asyncio.TimeoutError:
+                break
+        take = min(self.batch_size, len(self._items))
+        return [self._items.popleft() for _ in range(take)]
 
-    def _loop(self) -> None:
+    async def _run(self) -> None:
         while True:
-            batch = self._collect()
+            batch = await self._collect()
             if batch is None:
                 return
-            # Counter updates take the lock: `snapshot` reads them from
-            # arbitrary HTTP threads while this thread mutates them.  The
-            # dispatch itself runs unlocked — it blocks on the engine.
-            with self._cond:
-                self.batches += 1
-                self.items_dispatched += len(batch)
-                self.max_batch = max(self.max_batch, len(batch))
+            self.batches += 1
+            self.items_dispatched += len(batch)
+            self.max_batch = max(self.max_batch, len(batch))
             try:
-                self._dispatch(batch)
+                await self._dispatch(batch)
             except Exception:
-                with self._cond:
-                    self.dispatch_errors += 1
+                self.dispatch_errors += 1
 
     # ------------------------------------------------------------------ #
     # shutdown
     # ------------------------------------------------------------------ #
 
-    def close(self, drain: bool = True) -> None:
-        """Stop accepting work and shut the dispatcher down (idempotent).
+    async def close(self, drain: bool = True) -> None:
+        """Stop accepting work and retire the collector task (idempotent).
 
         With ``drain=True`` every already-queued item is still dispatched
-        before the thread exits; with ``drain=False`` waiting items are
-        discarded (the service cancels their futures first).
+        before the task exits; with ``drain=False`` waiting items are
+        discarded (the service fails their futures first).
         """
-        with self._cond:
-            if not self._closed:
-                self._closed = True
-                if not drain:
-                    self._items.clear()
-            self._cond.notify_all()
-        if self._thread is not threading.current_thread():
-            self._thread.join()
+        if not self._closed:
+            self._closed = True
+            if not drain:
+                self._items.clear()
+        self._wakeup.set()
+        if self._task is not None:
+            await self._task
+            self._task = None
 
     def snapshot(self) -> dict:
-        """JSON-able counters for ``/stats`` (one consistent read)."""
-        with self._cond:
-            depth = len(self._items)
-            shed = self.shed
-            batches = self.batches
-            items_dispatched = self.items_dispatched
-            max_batch = self.max_batch
-            dispatch_errors = self.dispatch_errors
+        """JSON-able counters for ``/stats``."""
         return {
-            "depth": depth,
+            "depth": len(self._items),
             "max_queue": self.max_queue,
-            "shed": shed,
-            "batches": batches,
-            "items_dispatched": items_dispatched,
-            "mean_batch": (items_dispatched / batches) if batches else 0.0,
-            "max_batch": max_batch,
-            "dispatch_errors": dispatch_errors,
+            "shed": self.shed,
+            "batches": self.batches,
+            "items_dispatched": self.items_dispatched,
+            "mean_batch": (self.items_dispatched / self.batches) if self.batches else 0.0,
+            "max_batch": self.max_batch,
+            "dispatch_errors": self.dispatch_errors,
             "batch_size": self.batch_size,
             "batch_delay_s": self.batch_delay_s,
         }

@@ -1,0 +1,98 @@
+"""Singleflight: at most one in-flight computation per fingerprint.
+
+Identical concurrent queries describe the *same* computation (their
+``repro.core.fingerprint`` task keys are equal), so only the first —
+the *leader* — should ever reach the batcher and the engine; every later
+arrival — a *follower* — attaches to the leader's :class:`asyncio.Future`
+and receives the shared result.  Combined with the tiers around it this
+guarantees one fingerprint is in flight at most once across the whole
+serving stack: the :class:`~repro.serve.lru.MemoryLRU` answers completed
+fingerprints, this map deduplicates running ones, and the engine's disk
+cache replays finished ones across restarts.
+
+The map is event-loop-confined — :meth:`admit` must run on the serving
+loop — so no lock is taken; the window closes when the computation
+resolves, fails, or is abandoned.
+
+This is the asyncio successor of the thread-based ``RequestCoalescer``
+from the ``ThreadingHTTPServer`` era; it is deliberately dumb about
+*what* is being computed — it maps keys to futures and counts hits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+__all__ = ["Singleflight"]
+
+
+class Singleflight:
+    """Maps in-flight computation keys to shared asyncio futures."""
+
+    def __init__(self) -> None:
+        self._inflight: dict[str, asyncio.Future] = {}
+        self.leaders = 0
+        self.hits = 0
+
+    def admit(self, key: str) -> tuple[asyncio.Future, bool]:
+        """Join the in-flight computation for ``key`` (loop-confined).
+
+        Returns ``(future, leader)``.  When ``leader`` is True the caller
+        owns the computation and must eventually call :meth:`resolve` or
+        :meth:`fail` (or :meth:`abandon` if it could not even start it);
+        otherwise the caller just awaits the shared future.
+        """
+        future = self._inflight.get(key)
+        if future is not None:
+            self.hits += 1
+            return future, False
+        future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        self.leaders += 1
+        return future, True
+
+    def resolve(self, key: str, value: object) -> None:
+        """Complete ``key``: wake every waiter with ``value``, close the window."""
+        future = self._inflight.pop(key, None)
+        if future is not None and not future.done():
+            future.set_result(value)
+
+    def fail(self, key: str, error: BaseException) -> None:
+        """Complete ``key`` exceptionally: every waiter re-raises ``error``."""
+        future = self._inflight.pop(key, None)
+        if future is not None and not future.done():
+            future.set_exception(error)
+            # Waiters may already be gone (per-request timeout); mark the
+            # exception retrieved so an unobserved failure does not emit
+            # an "exception was never retrieved" warning at GC time.
+            future.exception()
+
+    def abandon(self, key: str) -> None:
+        """Forget ``key`` without completing its future.
+
+        For the narrow window where a leader was admitted but its work
+        could never be enqueued (e.g. the queue shed it): the leader
+        reports its own error, and followers that raced in during the
+        window observe the cancellation and shed themselves.
+        """
+        future = self._inflight.pop(key, None)
+        if future is not None and not future.done():
+            future.cancel()
+
+    def fail_all(self, error: BaseException) -> None:
+        """Fail every in-flight key (non-drain shutdown: nothing will resolve)."""
+        for key in list(self._inflight):
+            self.fail(key, error)
+
+    @property
+    def inflight(self) -> int:
+        """Number of distinct computations currently in flight."""
+        return len(self._inflight)
+
+    def snapshot(self) -> dict:
+        """JSON-able counters for ``/stats``."""
+        return {
+            "inflight": len(self._inflight),
+            "leaders": self.leaders,
+            "hits": self.hits,
+        }

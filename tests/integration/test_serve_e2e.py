@@ -49,11 +49,16 @@ def test_hundred_concurrent_requests_ten_backend_solves(tmp_path):
 
         stats = client.stats()
         # Exactly ten cells ever reached the backend: every other request
-        # was coalesced onto an in-flight solve or answered by the cache.
+        # joined an in-flight window (singleflight), replayed from the
+        # memory LRU, or hit the disk cache inside the engine.
         assert stats["engine"]["cache_misses"] == DISTINCT_TASKS
-        coalesced = stats["coalesce"]["hits"]
-        cached = int(stats["engine"]["cache_hits"])
-        assert coalesced + cached == TOTAL_REQUESTS - DISTINCT_TASKS
+        inflight_joins = stats["singleflight"]["hits"]
+        memory_hits = stats["memory_lru"]["hits"]
+        disk_hits = int(stats["engine"]["cache_hits"])
+        assert inflight_joins + memory_hits + disk_hits == TOTAL_REQUESTS - DISTINCT_TASKS
+        assert stats["singleflight"]["leaders"] == DISTINCT_TASKS
+        assert stats["memory_lru"]["entries"] == DISTINCT_TASKS
+        assert stats["memory_lru"]["evictions"] == 0
         assert stats["completed"] == TOTAL_REQUESTS
         assert stats["errors"] == 0
         assert stats["timeouts"] == 0

@@ -207,3 +207,120 @@ def test_solver_calls_under_lock_fire(lint_tree):
     )
     assert [f.rule for f in findings] == ["CON003"]
     assert "run_tasks" in findings[0].message
+
+
+ASYNC_BLOCKING = {
+    "repro/serve/svc.py": """\
+    import time
+
+    class Service:
+        async def handle(self, request):
+            time.sleep(0.1)  # stalls the event loop
+            return request
+    """
+}
+
+
+def test_blocking_sleep_in_async_def_fires(lint_tree):
+    findings = lint_tree(ASYNC_BLOCKING, select=["ASY001"])
+    assert [f.rule for f in findings] == ["ASY001"]
+    assert "time.sleep" in findings[0].message
+    assert "handle" in findings[0].message
+
+
+def test_asyncio_sleep_is_the_loop_safe_spelling(lint_tree):
+    assert (
+        lint_tree(
+            {
+                "repro/serve/svc.py": """\
+                import asyncio
+
+                class Service:
+                    async def handle(self, request):
+                        await asyncio.sleep(0.1)
+                        return request
+                """
+            },
+            select=["ASY001"],
+        )
+        == []
+    )
+
+
+def test_sync_cache_io_in_async_def_fires(lint_tree):
+    findings = lint_tree(
+        {
+            "repro/serve/svc.py": """\
+            class Service:
+                async def lookup(self, keys):
+                    return self.engine.cache.get_many(keys)
+            """
+        },
+        select=["ASY001"],
+    )
+    assert [f.rule for f in findings] == ["ASY001"]
+    assert "get_many" in findings[0].message
+
+
+def test_queue_get_in_async_def_fires_but_awaited_get_is_clean(lint_tree):
+    findings = lint_tree(
+        {
+            "repro/serve/svc.py": """\
+            class Service:
+                async def pull(self):
+                    return self.work_queue.get()
+            """
+        },
+        select=["ASY001"],
+    )
+    assert [f.rule for f in findings] == ["ASY001"]
+    assert (
+        lint_tree(
+            {
+                "repro/serve/svc.py": """\
+                class Service:
+                    async def pull(self):
+                        return await self.work_queue.get()
+                """
+            },
+            select=["ASY001"],
+        )
+        == []
+    )
+
+
+def test_plain_mapping_get_and_sync_defs_are_exempt(lint_tree):
+    assert (
+        lint_tree(
+            {
+                "repro/serve/svc.py": """\
+                import time
+
+                class Service:
+                    async def handle(self, headers):
+                        return headers.get("content-length"), self.lru.get("k")
+
+                    def blocking_is_fine_off_loop(self):
+                        time.sleep(0.1)
+                        return self.engine.cache.get_many(["k"])
+                """
+            },
+            select=["ASY001"],
+        )
+        == []
+    )
+
+
+def test_solver_work_in_async_def_fires(lint_tree):
+    findings = lint_tree(
+        {
+            "repro/serve/svc.py": """\
+            class Service:
+                async def solve_inline(self, tasks):
+                    return self.engine.run_tasks(tasks)
+            """
+        },
+        select=["ASY001"],
+    )
+    assert [f.rule for f in findings] == ["ASY001"]
+    assert "run_in_executor" in findings[0].message

@@ -1,8 +1,8 @@
-"""Tests for size-or-deadline micro-batching and queue admission."""
+"""Tests for size-or-deadline micro-batching and queue admission (asyncio)."""
 
 from __future__ import annotations
 
-import threading
+import asyncio
 import time
 
 import pytest
@@ -10,231 +10,241 @@ import pytest
 from repro.serve.batcher import BatcherClosedError, MicroBatcher, QueueFullError
 
 
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
 class _Collector:
-    """Records dispatched batches; optionally blocks inside dispatch."""
+    """Records dispatched batches; optionally parks inside dispatch."""
 
-    def __init__(self, gate: threading.Event | None = None) -> None:
+    def __init__(self, gated: bool = False) -> None:
         self.batches: list[list[object]] = []
-        self.gate = gate
-        self.event = threading.Event()
+        self.gate = asyncio.Event()
+        if not gated:
+            self.gate.set()
 
-    def __call__(self, batch: list[object]) -> None:
-        if self.gate is not None:
-            self.gate.wait(timeout=10)
+    async def __call__(self, batch: list[object]) -> None:
+        await self.gate.wait()
         self.batches.append(list(batch))
-        self.event.set()
 
-    def wait_for_batches(self, n: int, timeout: float = 5.0) -> None:
+    async def wait_for_batches(self, n: int, timeout: float = 5.0) -> None:
         deadline = time.monotonic() + timeout
         while len(self.batches) < n:
             if time.monotonic() > deadline:
                 raise AssertionError(f"saw {len(self.batches)} batches, wanted {n}")
-            time.sleep(0.002)
+            await asyncio.sleep(0.002)
+
+    @property
+    def flat(self) -> list[object]:
+        return [item for batch in self.batches for item in batch]
+
+
+async def _started(collector: _Collector, **kwargs) -> MicroBatcher:
+    batcher = MicroBatcher(collector, **kwargs)
+    await batcher.start()
+    return batcher
 
 
 class TestTriggers:
     def test_size_trigger_dispatches_a_full_batch(self):
-        collector = _Collector()
-        batcher = MicroBatcher(collector, batch_size=4, batch_delay_s=5.0, max_queue=16)
-        try:
+        async def scenario():
+            collector = _Collector()
+            batcher = await _started(
+                collector, batch_size=4, batch_delay_s=5.0, max_queue=16
+            )
             for item in range(4):
                 batcher.submit(item)
-            collector.wait_for_batches(1)
+            await collector.wait_for_batches(1)
             # Dispatched by size, long before the 5 s deadline.
             assert collector.batches[0] == [0, 1, 2, 3]
-        finally:
-            batcher.close()
+            await batcher.close()
+
+        run(scenario())
 
     def test_deadline_trigger_fires_on_a_half_full_batch(self):
-        collector = _Collector()
-        batcher = MicroBatcher(collector, batch_size=8, batch_delay_s=0.05, max_queue=16)
-        try:
+        async def scenario():
+            collector = _Collector()
+            batcher = await _started(
+                collector, batch_size=8, batch_delay_s=0.05, max_queue=16
+            )
             start = time.monotonic()
             for item in range(4):  # half of batch_size
                 batcher.submit(item)
-            collector.wait_for_batches(1)
+            await collector.wait_for_batches(1)
             elapsed = time.monotonic() - start
             assert collector.batches[0] == [0, 1, 2, 3]
             assert elapsed < 2.0  # deadline, not starvation
-        finally:
-            batcher.close()
+            await batcher.close()
+
+        run(scenario())
 
     def test_arrival_order_is_preserved_across_batches(self):
-        collector = _Collector()
-        batcher = MicroBatcher(collector, batch_size=3, batch_delay_s=0.01, max_queue=64)
-        try:
+        async def scenario():
+            collector = _Collector()
+            batcher = await _started(
+                collector, batch_size=3, batch_delay_s=0.01, max_queue=64
+            )
             for item in range(10):
                 batcher.submit(item)
             deadline = time.monotonic() + 5
             while sum(len(b) for b in collector.batches) < 10:
                 assert time.monotonic() < deadline
-                time.sleep(0.002)
-            flat = [item for batch in collector.batches for item in batch]
-            assert flat == list(range(10))
+                await asyncio.sleep(0.002)
+            assert collector.flat == list(range(10))
             assert max(len(b) for b in collector.batches) <= 3
-        finally:
-            batcher.close()
+            await batcher.close()
+
+        run(scenario())
 
 
 class TestAdmission:
     def test_sheds_when_the_queue_is_full(self):
-        gate = threading.Event()
-        collector = _Collector(gate)
-        batcher = MicroBatcher(collector, batch_size=1, batch_delay_s=0.0, max_queue=2)
-        try:
-            batcher.submit("a")  # picked up by the dispatcher, blocks on gate
+        async def scenario():
+            collector = _Collector(gated=True)
+            batcher = await _started(
+                collector, batch_size=1, batch_delay_s=0.0, max_queue=2
+            )
+            batcher.submit("a")  # picked up by the collector, parks on the gate
             deadline = time.monotonic() + 5
-            while batcher.depth > 0:  # wait for the dispatcher to take "a"
+            while batcher.depth > 0:  # wait for the collector to take "a"
                 assert time.monotonic() < deadline
-                time.sleep(0.002)
+                await asyncio.sleep(0.002)
             batcher.submit("b")
             batcher.submit("c")
             with pytest.raises(QueueFullError):
                 batcher.submit("d")
             assert batcher.shed == 1
-        finally:
-            gate.set()
-            batcher.close()
-        # The shed item never reached dispatch.
-        flat = [item for batch in collector.batches for item in batch]
-        assert "d" not in flat
-        assert flat == ["a", "b", "c"]
+            collector.gate.set()
+            await batcher.close()
+            # The shed item never reached dispatch.
+            assert "d" not in collector.flat
+            assert collector.flat == ["a", "b", "c"]
+
+        run(scenario())
 
     def test_closed_batcher_rejects_submissions(self):
-        batcher = MicroBatcher(lambda batch: None, batch_size=2)
-        batcher.close()
-        with pytest.raises(BatcherClosedError):
-            batcher.submit("x")
+        async def scenario():
+            collector = _Collector()
+            batcher = await _started(collector, batch_size=2)
+            await batcher.close()
+            with pytest.raises(BatcherClosedError):
+                batcher.submit("x")
+
+        run(scenario())
 
     def test_constructor_validation(self):
+        async def nothing(batch):
+            pass
+
         for kwargs in ({"batch_size": 0}, {"batch_delay_s": -1}, {"max_queue": 0}):
             with pytest.raises(ValueError):
-                MicroBatcher(lambda batch: None, **kwargs)
+                MicroBatcher(nothing, **kwargs)
 
 
 class TestShutdown:
     def test_drain_dispatches_queued_items(self):
-        gate = threading.Event()
-        collector = _Collector(gate)
-        batcher = MicroBatcher(collector, batch_size=2, batch_delay_s=0.0, max_queue=64)
-        for item in range(6):
-            batcher.submit(item)
-        gate.set()
-        batcher.close(drain=True)
-        flat = [item for batch in collector.batches for item in batch]
-        assert flat == list(range(6))
+        async def scenario():
+            collector = _Collector(gated=True)
+            batcher = await _started(
+                collector, batch_size=2, batch_delay_s=0.0, max_queue=64
+            )
+            for item in range(6):
+                batcher.submit(item)
+            collector.gate.set()
+            await batcher.close(drain=True)
+            assert collector.flat == list(range(6))
+
+        run(scenario())
 
     def test_close_without_drain_discards_waiting_items(self):
-        gate = threading.Event()
-        collector = _Collector(gate)
-        batcher = MicroBatcher(collector, batch_size=1, batch_delay_s=0.0, max_queue=64)
-        batcher.submit("taken")
-        deadline = time.monotonic() + 5
-        while batcher.depth > 0:
-            assert time.monotonic() < deadline
-            time.sleep(0.002)
-        batcher.submit("dropped")
-        gate.set()
-        batcher.close(drain=False)
-        flat = [item for batch in collector.batches for item in batch]
-        assert "dropped" not in flat
+        async def scenario():
+            collector = _Collector(gated=True)
+            batcher = await _started(
+                collector, batch_size=1, batch_delay_s=0.0, max_queue=64
+            )
+            batcher.submit("taken")
+            deadline = time.monotonic() + 5
+            while batcher.depth > 0:
+                assert time.monotonic() < deadline
+                await asyncio.sleep(0.002)
+            batcher.submit("dropped")
+            collector.gate.set()
+            await batcher.close(drain=False)
+            assert "dropped" not in collector.flat
+
+        run(scenario())
 
     def test_close_is_idempotent(self):
-        batcher = MicroBatcher(lambda batch: None)
-        batcher.close()
-        batcher.close()
-        assert batcher.closed
+        async def scenario():
+            collector = _Collector()
+            batcher = await _started(collector)
+            await batcher.close()
+            await batcher.close()
+            assert batcher.closed
 
-    def test_dispatch_errors_do_not_kill_the_loop(self):
-        def explode(batch):
+        run(scenario())
+
+    def test_close_before_start_is_safe(self):
+        async def scenario():
+            collector = _Collector()
+            batcher = MicroBatcher(collector)
+            await batcher.close()
+            assert batcher.closed
+            with pytest.raises(BatcherClosedError):
+                batcher.submit("x")
+            await batcher.start()  # post-close start must not revive it
+            assert batcher.closed
+
+        run(scenario())
+
+    def test_dispatch_errors_do_not_kill_the_collector(self):
+        async def explode(batch):
             raise RuntimeError("boom")
 
-        batcher = MicroBatcher(explode, batch_size=1, batch_delay_s=0.0)
-        batcher.submit("a")
-        batcher.submit("b")
-        batcher.close(drain=True)
-        assert batcher.dispatch_errors == 2
-        assert batcher.items_dispatched == 2
+        async def scenario():
+            batcher = MicroBatcher(explode, batch_size=1, batch_delay_s=0.0)
+            await batcher.start()
+            batcher.submit("a")
+            batcher.submit("b")
+            await batcher.close(drain=True)
+            assert batcher.dispatch_errors == 2
+            assert batcher.items_dispatched == 2
+
+        run(scenario())
 
     def test_snapshot_counts(self):
-        collector = _Collector()
-        batcher = MicroBatcher(collector, batch_size=2, batch_delay_s=0.01)
-        for item in range(4):
-            batcher.submit(item)
-        batcher.close(drain=True)
-        snap = batcher.snapshot()
-        assert snap["items_dispatched"] == 4
-        assert snap["depth"] == 0
-        assert snap["batches"] >= 2
-        assert snap["max_batch"] <= 2
+        async def scenario():
+            collector = _Collector()
+            batcher = await _started(collector, batch_size=2, batch_delay_s=0.01)
+            for item in range(4):
+                batcher.submit(item)
+            await batcher.close(drain=True)
+            snap = batcher.snapshot()
+            assert snap["items_dispatched"] == 4
+            assert snap["depth"] == 0
+            assert snap["batches"] >= 2
+            assert snap["max_batch"] <= 2
 
-
-class TestSnapshotLocking:
-    """Regression tests for the CON001 finding: counters shared between the
-    dispatcher thread and HTTP-thread ``snapshot`` callers must be updated
-    and read under the batcher's condition lock."""
-
-    def test_snapshot_exposes_dispatch_errors(self):
-        batcher = MicroBatcher(lambda batch: None, batch_size=1, batch_delay_s=0.0)
-        batcher.close(drain=True)
-        snap = batcher.snapshot()
-        assert snap["dispatch_errors"] == 0
-
-    def test_snapshot_counts_errors(self):
-        def explode(batch):
-            raise RuntimeError("boom")
-
-        batcher = MicroBatcher(explode, batch_size=1, batch_delay_s=0.0)
-        batcher.submit("a")
-        batcher.close(drain=True)
-        assert batcher.snapshot()["dispatch_errors"] == 1
+        run(scenario())
 
     def test_counters_update_before_dispatch_completes(self):
-        # Counters are bumped under the lock *before* the unlocked dispatch
-        # call, so a snapshot taken while dispatch blocks already sees them.
-        gate = threading.Event()
-        collector = _Collector(gate=gate)
-        batcher = MicroBatcher(collector, batch_size=2, batch_delay_s=5.0)
-        try:
+        # Counters are bumped *before* the awaited dispatch call, so a
+        # snapshot taken while dispatch is parked already sees them.
+        async def scenario():
+            collector = _Collector(gated=True)
+            batcher = await _started(collector, batch_size=2, batch_delay_s=5.0)
             batcher.submit("a")
             batcher.submit("b")
             deadline = time.monotonic() + 5.0
             while batcher.snapshot()["batches"] < 1:
                 if time.monotonic() > deadline:
-                    raise AssertionError("dispatcher never picked up the batch")
-                time.sleep(0.002)
+                    raise AssertionError("collector never picked up the batch")
+                await asyncio.sleep(0.002)
             snap = batcher.snapshot()
             assert snap["items_dispatched"] == 2
             assert snap["max_batch"] == 2
             assert collector.batches == []  # dispatch itself is still parked
-        finally:
-            gate.set()
-            batcher.close(drain=True)
+            collector.gate.set()
+            await batcher.close(drain=True)
 
-    def test_concurrent_snapshots_stay_consistent(self):
-        collector = _Collector()
-        batcher = MicroBatcher(collector, batch_size=4, batch_delay_s=0.0)
-        stop = threading.Event()
-        seen: list[dict] = []
-
-        def poll():
-            while not stop.is_set():
-                seen.append(batcher.snapshot())
-
-        poller = threading.Thread(target=poll)
-        poller.start()
-        try:
-            for item in range(200):
-                batcher.submit(item)
-            batcher.close(drain=True)
-        finally:
-            stop.set()
-            poller.join(timeout=5)
-        final = batcher.snapshot()
-        assert final["items_dispatched"] == 200
-        assert final["dispatch_errors"] == 0
-        # Monotone counters: no snapshot may run backwards or overshoot.
-        last = 0
-        for snap in seen:
-            assert last <= snap["items_dispatched"] <= 200
-            last = snap["items_dispatched"]
+        run(scenario())

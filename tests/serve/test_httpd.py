@@ -59,7 +59,12 @@ class TestEndpoints:
         assert stats["accepted"] >= 1
         assert stats["completed"] >= 1
         assert stats["engine"]["cells"] >= 1
-        assert "queue" in stats and "coalesce" in stats and "latency_s" in stats
+        assert "queue" in stats and "latency_s" in stats
+        assert stats["singleflight"]["leaders"] >= 1
+        assert stats["memory_lru"]["entries"] >= 1
+        # A replay of the same query is answered from the memory tier.
+        client.loss(**QUICK)
+        assert client.stats()["memory_lru"]["hits"] >= 1
 
     def test_unknown_path_is_404(self, client):
         with pytest.raises(ServeError) as excinfo:

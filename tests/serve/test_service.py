@@ -1,9 +1,9 @@
-"""Tests for the query service core: coalescing, shedding, drain, timeouts.
+"""Tests for the query service core: singleflight, shedding, drain, timeouts.
 
-These tests drive :class:`QueryService` directly (no HTTP) against a
-stub engine whose dispatch can be blocked on an event, which makes the
-contention windows deterministic: requests can be piled up *while* a
-solve is provably in flight.
+These tests drive the thread-safe :class:`QueryService` facade directly
+(no HTTP) against a stub engine whose dispatch can be blocked on an
+event, which makes the contention windows deterministic: requests can be
+piled up *while* a solve is provably in flight on the executor.
 """
 
 from __future__ import annotations
@@ -92,7 +92,7 @@ class TestCoalescingUnderContention:
             for thread in threads:
                 thread.start()
             # All eight are attached before the solve is allowed to finish.
-            _poll(lambda: service.coalescer.hits == 7, message="7 coalesce hits")
+            _poll(lambda: service.singleflight.hits == 7, message="7 singleflight hits")
             gate.set()
             for thread in threads:
                 thread.join(timeout=10)
@@ -105,8 +105,8 @@ class TestCoalescingUnderContention:
         assert sum(1 for r in responses if r["coalesced"]) == 7
         assert all(r["result"]["lower"] == RESULT.lower for r in responses)
         stats = service.stats()
-        assert stats["coalesce"]["hits"] == 7
-        assert stats["coalesce"]["leaders"] == 1
+        assert stats["singleflight"]["hits"] == 7
+        assert stats["singleflight"]["leaders"] == 1
 
     def test_distinct_requests_are_not_coalesced(self):
         engine = GateEngine()
@@ -117,7 +117,7 @@ class TestCoalescingUnderContention:
         finally:
             service.close()
         assert engine.total_tasks == 3
-        assert service.coalescer.hits == 0
+        assert service.singleflight.hits == 0
 
 
 class TestAdmissionControl:
@@ -234,7 +234,7 @@ class TestInlineKinds:
         assert response["result"]["norros_horizon_s"] > 0
         assert engine.total_tasks == 0
 
-    def test_dimension_runs_in_the_leader_thread_and_coalesces(self):
+    def test_dimension_runs_on_the_aux_executor_and_caches(self):
         engine = GateEngine(threading.Event())
         service = QueryService(engine)
         request = parse_request(
@@ -252,6 +252,7 @@ class TestInlineKinds:
         bandwidth = first["result"]["effective_bandwidth"]
         assert 1.0 < bandwidth <= 2.0
         assert second["result"]["effective_bandwidth"] == bandwidth
+        assert second["tier"] == "memory"  # replayed from the LRU, not re-bisected
 
 
 class TestStats:
@@ -260,7 +261,7 @@ class TestStats:
         service = QueryService(engine, batch_size=2, batch_delay_s=0.005)
         try:
             service.query(_loss())
-            service.query(_loss())  # second hits a fresh window; solved again
+            service.query(_loss())  # second replays from the memory LRU
             stats = service.stats()
         finally:
             service.close()
@@ -268,9 +269,14 @@ class TestStats:
         assert stats["completed"] == 2
         assert stats["inflight"] == 0
         assert stats["cache"] is None
-        assert stats["queue"]["items_dispatched"] == 2
+        assert stats["queue"]["items_dispatched"] == 1  # one solve, one LRU hit
+        assert stats["memory_lru"]["hits"] == 1
+        assert stats["memory_lru"]["misses"] == 1
+        assert stats["memory_lru"]["entries"] == 1
+        assert stats["memory_lru"]["evictions"] == 0
+        assert stats["singleflight"] == {"inflight": 0, "leaders": 1, "hits": 0}
         assert stats["latency_s"]["total"]["count"] == 2
-        assert stats["latency_s"]["queue"]["count"] == 2
+        assert stats["latency_s"]["queue"]["count"] == 1
         assert stats["latency_s"]["solve"]["p99_s"] >= 0.0
         assert stats["engine"]["cells"] == 0.0  # stub telemetry records nothing
         assert stats["batches"] == {

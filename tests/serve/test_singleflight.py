@@ -1,0 +1,137 @@
+"""Tests for the singleflight in-flight deduplication map."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve.singleflight import Singleflight
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestAdmit:
+    def test_first_arrival_leads(self):
+        async def scenario():
+            flight = Singleflight()
+            future, leader = flight.admit("k")
+            assert leader is True
+            assert flight.inflight == 1
+            assert flight.leaders == 1
+            assert flight.hits == 0
+            flight.abandon("k")
+
+        run(scenario())
+
+    def test_followers_share_the_leaders_future(self):
+        async def scenario():
+            flight = Singleflight()
+            leader_future, _ = flight.admit("k")
+            follower_future, leader = flight.admit("k")
+            assert leader is False
+            assert follower_future is leader_future
+            assert flight.hits == 1
+            flight.abandon("k")
+
+        run(scenario())
+
+    def test_distinct_keys_do_not_coalesce(self):
+        async def scenario():
+            flight = Singleflight()
+            _, first = flight.admit("a")
+            _, second = flight.admit("b")
+            assert first and second
+            assert flight.inflight == 2
+            assert flight.hits == 0
+            flight.abandon("a")
+            flight.abandon("b")
+
+        run(scenario())
+
+
+class TestCompletion:
+    def test_resolve_wakes_every_waiter_and_closes_the_window(self):
+        async def scenario():
+            flight = Singleflight()
+            future, _ = flight.admit("k")
+            follower, _ = flight.admit("k")
+            flight.resolve("k", 42)
+            assert await future == 42
+            assert await follower == 42
+            assert flight.inflight == 0
+            # The window is closed: a new identical request leads again.
+            fresh, leader = flight.admit("k")
+            assert leader is True
+            flight.abandon("k")
+
+        run(scenario())
+
+    def test_fail_propagates_to_all_waiters(self):
+        async def scenario():
+            flight = Singleflight()
+            future, _ = flight.admit("k")
+            flight.fail("k", ValueError("boom"))
+            with pytest.raises(ValueError, match="boom"):
+                await future
+            assert flight.inflight == 0
+
+        run(scenario())
+
+    def test_completing_unknown_keys_is_a_noop(self):
+        async def scenario():
+            flight = Singleflight()
+            flight.resolve("ghost", 1)
+            flight.fail("ghost", RuntimeError())
+            flight.abandon("ghost")
+            assert flight.inflight == 0
+
+        run(scenario())
+
+    def test_abandon_cancels_raced_followers(self):
+        async def scenario():
+            flight = Singleflight()
+            future, _ = flight.admit("k")
+            flight.abandon("k")
+            with pytest.raises(asyncio.CancelledError):
+                await future
+            assert flight.inflight == 0
+
+        run(scenario())
+
+    def test_fail_all_fails_every_window(self):
+        async def scenario():
+            flight = Singleflight()
+            futures = [flight.admit(key)[0] for key in ("a", "b", "c")]
+            flight.fail_all(RuntimeError("draining"))
+            for future in futures:
+                with pytest.raises(RuntimeError, match="draining"):
+                    await future
+            assert flight.inflight == 0
+
+        run(scenario())
+
+
+class TestContention:
+    def test_many_concurrent_admits_one_leader(self):
+        async def scenario():
+            flight = Singleflight()
+            outcomes: list[bool] = []
+
+            async def contend() -> int:
+                future, leader = flight.admit("hot-key")
+                outcomes.append(leader)
+                return await future
+
+            tasks = [asyncio.ensure_future(contend()) for _ in range(16)]
+            await asyncio.sleep(0)  # let every task reach its await
+            flight.resolve("hot-key", 7)
+            results = await asyncio.gather(*tasks)
+            assert results == [7] * 16
+            assert sum(outcomes) == 1  # exactly one leader
+            assert flight.hits == 15
+            assert flight.snapshot() == {"inflight": 0, "leaders": 1, "hits": 15}
+
+        run(scenario())
