@@ -1,0 +1,111 @@
+"""Performance — netsim event-loop throughput vs topology size.
+
+Measures processed events per wall-clock second for the two preset
+shapes: (a) tandem chains of growing hop count and (b) multiplexers of
+growing source fan-in.  Event cost is dominated by the downstream
+dirty-propagation pass, so throughput should degrade gently (roughly
+linearly) with node count and stay roughly flat in source count — each
+extra source adds events but not per-event work.
+
+``test_perf_netsim_smoke`` is the CI gate: one small multiplexer run
+must clear an events/sec floor set far below the reference-host
+measurement (~70k events/s) so only an order-of-magnitude regression —
+an accidentally quadratic propagation pass, unbounded stale-event
+accumulation — trips it, not runner noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _common import persist, run_once
+from repro.experiments.reporting import format_mapping, format_series
+from repro.netsim import multiplexer_topology, simulate, tandem_topology
+
+HOPS = (1, 2, 4, 8)
+SOURCES = (2, 4, 8, 16)
+DURATION = 120.0
+WARMUP = 10.0
+SEED = 20260808
+
+# CI gate: measured ~70-90k events/s on the reference host; the floor
+# leaves ~5x headroom for slow shared runners.
+SMOKE_MIN_EVENTS_PER_S = 15_000.0
+
+
+def _measure(topology) -> tuple[float, float, float]:
+    """(events/s, events processed, wall seconds) for one simulation."""
+    result = simulate(topology, duration=DURATION, warmup=WARMUP, seed=SEED)
+    return (
+        result.events_per_second,
+        float(result.events_processed),
+        result.wall_seconds,
+    )
+
+
+def test_perf_netsim_events(benchmark):
+    def run():
+        tandem = [
+            _measure(tandem_topology(utilization=0.9, normalized_buffer=0.1, hops=h))
+            for h in HOPS
+        ]
+        mux = [
+            _measure(
+                multiplexer_topology(utilization=0.9, normalized_buffer=0.1, sources=s)
+            )
+            for s in SOURCES
+        ]
+        return np.array(tandem), np.array(mux)
+
+    tandem, mux = run_once(benchmark, run)
+    text = format_series(
+        "hops",
+        np.array(HOPS, dtype=float),
+        {
+            "events_per_s": tandem[:, 0],
+            "events": tandem[:, 1],
+            "wall_s": tandem[:, 2],
+        },
+        "Performance — netsim events/sec vs tandem hop count",
+    )
+    text += "\n\n" + format_series(
+        "sources",
+        np.array(SOURCES, dtype=float),
+        {
+            "events_per_s": mux[:, 0],
+            "events": mux[:, 1],
+            "wall_s": mux[:, 2],
+        },
+        "Performance — netsim events/sec vs multiplexer fan-in",
+    )
+    persist("perf_netsim", text)
+    rates = np.concatenate([tandem[:, 0], mux[:, 0]])
+    assert float(rates.min()) >= SMOKE_MIN_EVENTS_PER_S, rates
+    # More sources mean more events, so the throughput win of scale must
+    # not collapse: the largest fan-in stays within 4x of the smallest.
+    assert mux[-1, 0] >= mux[0, 0] / 4.0, mux[:, 0]
+
+
+def test_perf_netsim_smoke():
+    """CI gate: events/sec floor on a small multiplexer (sub-second)."""
+    topology = multiplexer_topology(utilization=0.9, normalized_buffer=0.1, sources=4)
+    best = max(
+        simulate(topology, duration=30.0, warmup=3.0, seed=SEED).events_per_second
+        for _ in range(3)
+    )
+    persist(
+        "perf_netsim_smoke",
+        format_mapping(
+            {
+                "sources": 4.0,
+                "duration_s": 30.0,
+                "events_per_s": best,
+                "required_events_per_s": SMOKE_MIN_EVENTS_PER_S,
+            },
+            "Perf smoke — netsim event throughput, 4-source multiplexer",
+        ),
+    )
+    assert best >= SMOKE_MIN_EVENTS_PER_S, (
+        f"netsim event loop regressed: {best:,.0f} events/s vs required "
+        f"{SMOKE_MIN_EVENTS_PER_S:,.0f}"
+    )

@@ -27,6 +27,13 @@ Subcommands
     (``repro-lrd lint src/repro --format json``): fingerprint
     completeness, concurrency discipline, numerical hygiene and
     API-doc drift.  Exits 1 on any finding; CI gates on it.
+``netsim``
+    Run a network-of-queues simulation preset
+    (``repro-lrd netsim tandem --hops 2``, ``repro-lrd netsim mux
+    --sources 8``): the seeded discrete-event fluid simulator sweeps a
+    small (utilization x buffer) grid, prints the bottleneck loss/delay
+    table, and with ``--detail`` the per-node loss, occupancy and delay
+    telemetry of every cell.
 ``fuzz``
     Run the differential/metamorphic verification harness
     (``repro-lrd fuzz --cases 200 --seed 0``): seeded stratified
@@ -227,6 +234,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay the persisted corpus instead of generating cases",
     )
     _add_engine_flags(fuzz)
+
+    netsim = sub.add_parser(
+        "netsim", help="run a network-of-queues simulation preset"
+    )
+    netsim.add_argument("preset", choices=("tandem", "mux"),
+                        help="topology preset: tandem chain or N-source multiplexer")
+    netsim.add_argument("--hops", type=int, default=2, metavar="N",
+                        help="queue hops in the tandem chain (default: 2)")
+    netsim.add_argument("--sources", type=int, default=8, metavar="N",
+                        help="independent on/off flows into the multiplexer (default: 8)")
+    netsim.add_argument(
+        "--utilization", type=float, action="append", default=None, metavar="RHO",
+        dest="utilizations",
+        help="per-hop offered load; repeatable (default: 0.7 and 0.9)",
+    )
+    netsim.add_argument(
+        "--buffer", type=float, action="append", default=None, metavar="SECONDS",
+        dest="buffers",
+        help="normalized buffer in seconds of service; repeatable (default: 0.1 and 0.5)",
+    )
+    netsim.add_argument("--duration", type=float, default=200.0, metavar="SECONDS",
+                        help="measured horizon per cell (default: 200)")
+    netsim.add_argument("--warmup", type=float, default=20.0, metavar="SECONDS",
+                        help="warmup before statistics start (default: 20)")
+    netsim.add_argument("--seed", type=int, default=0,
+                        help="master seed of the per-cell simulations")
+    netsim.add_argument("--hurst", type=float, default=0.8)
+    netsim.add_argument("--detail", action="store_true",
+                        help="also print per-node loss/occupancy/delay for every cell")
+    netsim.add_argument("--out", default=None, help="also write the table to this file")
 
     dimension = sub.add_parser(
         "dimension", help="effective bandwidth / multiplexing gain for an on/off source"
@@ -433,6 +470,59 @@ def _run_lint(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
+def _run_netsim(args: argparse.Namespace) -> int:
+    """Run a netsim preset sweep and report per-cell/per-node telemetry."""
+    from repro.exec.telemetry import SweepTelemetry
+    from repro.netsim import multiplexer_preset, tandem_preset
+
+    utilizations = args.utilizations or [0.7, 0.9]
+    buffers = args.buffers or [0.1, 0.5]
+    telemetry = SweepTelemetry()
+    if args.preset == "tandem":
+        report = tandem_preset(
+            utilizations=utilizations,
+            buffers=buffers,
+            hops=args.hops,
+            duration=args.duration,
+            warmup=args.warmup,
+            seed=args.seed,
+            hurst=args.hurst,
+            telemetry=telemetry,
+        )
+    else:
+        report = multiplexer_preset(
+            utilizations=utilizations,
+            buffers=buffers,
+            sources=args.sources,
+            duration=args.duration,
+            warmup=args.warmup,
+            seed=args.seed,
+            hurst=args.hurst,
+            telemetry=telemetry,
+        )
+    text = report.format_table()
+    print(text)
+    if args.detail:
+        for cell in report.cells:
+            print()
+            print(reporting.format_mapping(
+                cell.result.summary(),
+                f"cell {cell.index}: util={cell.utilization:g} "
+                f"buffer={cell.normalized_buffer:g}s",
+            ))
+    events = sum(cell.iterations for cell in telemetry.cells)
+    seconds = telemetry.solve_seconds
+    rate = events / seconds if seconds > 0.0 else 0.0
+    print(
+        f"netsim: {telemetry.total_cells} cells, {events} events, "
+        f"{seconds:.2f}s simulating ({rate:,.0f} events/s)",
+        file=sys.stderr,
+    )
+    if args.out:
+        reporting.write_report(args.out, text)
+    return 0
+
+
 def _onoff_source(args: argparse.Namespace) -> CutoffFluidSource:
     marginal = DiscreteMarginal.two_state(
         low=0.0, high=args.peak, prob_high=args.on_probability
@@ -474,6 +564,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "fuzz":
         return _run_fuzz(args)
+
+    if args.command == "netsim":
+        return _run_netsim(args)
 
     if args.command == "figure":
         with _build_engine(args) as engine:

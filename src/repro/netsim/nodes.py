@@ -1,0 +1,116 @@
+"""Declarative node entities (the *entities* of the entities/events/state split).
+
+Nodes are frozen value objects: they carry names and parameters, never
+simulation state.  The runtime state lives in :mod:`repro.netsim.simulate`,
+which compiles a :class:`~repro.netsim.topology.Topology` of these
+entities into mutable per-node fluid-buffer states.
+
+Four node kinds:
+
+* :class:`QueueNode` — a finite-buffer FIFO fluid queue: service rate
+  ``c``, buffer ``B``; overflow fluid is lost.  One node of this kind
+  fed by a :class:`~repro.netsim.sources.RenewalSource` *is* the
+  paper's model queue, which is what the solver oracle exploits.
+* :class:`PriorityNode` — static-priority service: each priority class
+  (lower number served first) gets its own buffer of size ``buffer``
+  and the service left over by stricter classes.
+* :class:`MuxNode` — a lossless fan-in junction summing its incoming
+  flows onto one outgoing hop; combined with a :class:`QueueNode` it
+  builds the paper's N-source multiplexer.
+* :class:`SinkNode` — absorbs fluid and accounts delivered work per
+  flow; every route must end here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Union
+
+from repro.core.validation import check_positive
+
+__all__ = [
+    "MuxNode",
+    "Node",
+    "PriorityNode",
+    "QueueNode",
+    "SinkNode",
+]
+
+
+def _check_name(name: str) -> None:
+    if not name or not isinstance(name, str):
+        raise ValueError("node name must be a non-empty string")
+
+
+def _check_buffer(value: float) -> None:
+    """Buffers are non-negative; ``math.inf`` means an unbounded queue."""
+    if math.isnan(value) or value < 0.0:
+        raise ValueError(f"buffer must be >= 0 (possibly math.inf), got {value!r}")
+
+
+@dataclass(frozen=True)
+class QueueNode:
+    """Finite-buffer FIFO fluid queue (service ``c``, buffer ``B``)."""
+
+    name: str
+    service_rate: float
+    buffer: float
+
+    kind = "queue"
+
+    def __post_init__(self) -> None:
+        _check_name(self.name)
+        check_positive("service_rate", self.service_rate)
+        _check_buffer(self.buffer)
+
+
+@dataclass(frozen=True)
+class PriorityNode:
+    """Static-priority fluid queue.
+
+    Flows traversing the node are grouped by their ``priority`` field
+    (lower number = stricter class).  Class ``k`` receives whatever
+    service the stricter classes leave unused and owns a private buffer
+    of size ``buffer``; overflow within a class is lost without
+    touching the other classes.
+    """
+
+    name: str
+    service_rate: float
+    buffer: float
+
+    kind = "priority"
+
+    def __post_init__(self) -> None:
+        _check_name(self.name)
+        check_positive("service_rate", self.service_rate)
+        _check_buffer(self.buffer)
+
+
+@dataclass(frozen=True)
+class MuxNode:
+    """Lossless fan-in: output rates equal input rates, no state."""
+
+    name: str
+
+    kind = "mux"
+
+    def __post_init__(self) -> None:
+        _check_name(self.name)
+
+
+@dataclass(frozen=True)
+class SinkNode:
+    """Terminal node with per-flow delivered-work accounting."""
+
+    name: str
+
+    kind = "sink"
+
+    def __post_init__(self) -> None:
+        _check_name(self.name)
+
+
+Node = Union[QueueNode, PriorityNode, MuxNode, SinkNode]
+"""Any declarative node entity."""

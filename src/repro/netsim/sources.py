@@ -1,0 +1,243 @@
+"""Source adapters: ``repro.traffic`` generators as arrival processes.
+
+Every flow in a topology is driven by a :class:`RateSource`: an object
+that, given the flow's private random stream, yields piecewise-constant
+``(duration, rate)`` segments.  The simulator turns each segment start
+into a :data:`~repro.netsim.events.RATE_CHANGE` event, so anything that
+can be expressed as a piecewise-constant fluid rate — the paper's
+renewal source, a binned fGn/FARIMA path, an on/off aggregate, M/G/∞
+session counts, the synthetic MTV and Bellcore traces — plugs in
+through one interface.
+
+Three adapters cover the repo's generator families:
+
+* :class:`RenewalSource` — the paper's cutoff fluid source itself: i.i.d.
+  ``(T_n, lambda_n)`` renewal epochs sampled lazily in chunks.  This is
+  the adapter the netsim-vs-solver oracle uses, because a one-node
+  topology fed by it is *exactly* the queue of Eq. 9.
+* :class:`TraceSource` — any pre-binned rate array; constructors wrap
+  the fGn, FARIMA, on/off-aggregate, M/G/∞ and synthetic-trace
+  generators (Gaussian families are clipped at zero, which biases the
+  mean slightly upward — the same convention the shuffle experiments
+  use).  A trace is finite: once exhausted, the last rate holds.
+* :class:`SegmentSource` — explicit ``(durations, rates)`` arrays, the
+  adapter tests use to feed a *known* path through the network.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.source import CutoffFluidSource
+from repro.core.truncated_pareto import TruncatedPareto
+from repro.core.validation import check_positive
+from repro.traffic import (
+    Trace,
+    aggregate_onoff_rates,
+    d_from_hurst,
+    generate_farima,
+    generate_fgn,
+    mginf_rates,
+)
+
+__all__ = [
+    "RateSource",
+    "RenewalSource",
+    "SegmentSource",
+    "TraceSource",
+]
+
+
+class RateSource:
+    """Interface every flow driver implements.
+
+    ``segments(rng)`` yields ``(duration, rate)`` pairs; a finite stream
+    means the last rate holds for the rest of the horizon.  ``mean_rate``
+    is the long-run average the presets use to dimension service rates.
+    """
+
+    mean_rate: float
+
+    def segments(self, rng: np.random.Generator) -> Iterator[tuple[float, float]]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class SegmentSource(RateSource):
+    """An explicit, finite ``(durations, rates)`` path (test harness adapter)."""
+
+    durations: tuple[float, ...]
+    rates: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.durations) != len(self.rates) or not self.durations:
+            raise ValueError("durations and rates must be equal-length and non-empty")
+        if any(d <= 0.0 for d in self.durations):
+            raise ValueError("segment durations must be positive")
+        if any(r < 0.0 for r in self.rates):
+            raise ValueError("segment rates must be non-negative")
+
+    @property
+    def mean_rate(self) -> float:  # type: ignore[override]
+        total = sum(self.durations)
+        return sum(d * r for d, r in zip(self.durations, self.rates)) / total
+
+    @property
+    def total_time(self) -> float:
+        """Time span covered before the last rate starts holding."""
+        return float(sum(self.durations))
+
+    def segments(self, rng: np.random.Generator) -> Iterator[tuple[float, float]]:
+        return iter(zip(self.durations, self.rates))
+
+
+@dataclass(frozen=True)
+class RenewalSource(RateSource):
+    """The paper's modulated fluid renewal process, sampled lazily.
+
+    Each chunk draws ``chunk`` i.i.d. ``(T_n, lambda_n)`` pairs from the
+    wrapped :class:`~repro.core.source.CutoffFluidSource`; the stream is
+    infinite, so a flow driven by it never runs dry before the horizon.
+    """
+
+    source: CutoffFluidSource
+    chunk: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.chunk < 1:
+            raise ValueError(f"chunk must be >= 1, got {self.chunk}")
+
+    @property
+    def mean_rate(self) -> float:  # type: ignore[override]
+        return self.source.mean_rate
+
+    def segments(self, rng: np.random.Generator) -> Iterator[tuple[float, float]]:
+        while True:
+            path = self.source.sample_path(self.chunk, rng)
+            yield from zip(path.durations.tolist(), path.rates.tolist())
+
+
+@dataclass(frozen=True)
+class TraceSource(RateSource):
+    """A binned rate trace as a finite piecewise-constant source.
+
+    The constructors below pre-generate the trace with an explicit seed,
+    so a :class:`TraceSource` is a *value*: simulating the same topology
+    twice replays the identical rate path regardless of the simulator
+    seed (the flow's private stream is simply unused).
+    """
+
+    rates: tuple[float, ...]
+    bin_width: float
+
+    def __post_init__(self) -> None:
+        if not self.rates:
+            raise ValueError("rates must be non-empty")
+        if any(r < 0.0 for r in self.rates):
+            raise ValueError("rates must be non-negative")
+        check_positive("bin_width", self.bin_width)
+
+    @property
+    def mean_rate(self) -> float:  # type: ignore[override]
+        return float(sum(self.rates) / len(self.rates))
+
+    @property
+    def total_time(self) -> float:
+        """Time span covered before the last rate starts holding."""
+        return self.bin_width * len(self.rates)
+
+    def segments(self, rng: np.random.Generator) -> Iterator[tuple[float, float]]:
+        return ((self.bin_width, rate) for rate in self.rates)
+
+    # ------------------------------------------------------------------ #
+    # constructors over the repro.traffic generator families
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_array(cls, rates: np.ndarray, bin_width: float) -> "TraceSource":
+        """Wrap a raw binned rate array (clipped at zero)."""
+        clipped = np.clip(np.asarray(rates, dtype=np.float64), 0.0, None)
+        return cls(rates=tuple(clipped.tolist()), bin_width=float(bin_width))
+
+    @classmethod
+    def from_trace(cls, trace: Trace) -> "TraceSource":
+        """Wrap a :class:`~repro.traffic.trace.Trace` (MTV, Bellcore, ...)."""
+        return cls.from_array(trace.rates, trace.bin_width)
+
+    @classmethod
+    def fgn(
+        cls,
+        duration: float,
+        bin_width: float,
+        hurst: float,
+        mean: float,
+        std: float,
+        seed: int,
+    ) -> "TraceSource":
+        """Fractional-Gaussian-noise rates (clipped at zero)."""
+        length = max(2, int(math.ceil(duration / bin_width)))
+        rng = np.random.default_rng(seed)
+        return cls.from_array(
+            generate_fgn(length, hurst, rng, mean=mean, std=std), bin_width
+        )
+
+    @classmethod
+    def farima(
+        cls,
+        duration: float,
+        bin_width: float,
+        hurst: float,
+        mean: float,
+        std: float,
+        seed: int,
+    ) -> "TraceSource":
+        """FARIMA(0, d, 0) rates with ``d = H - 1/2`` (clipped at zero)."""
+        length = max(2, int(math.ceil(duration / bin_width)))
+        rng = np.random.default_rng(seed)
+        return cls.from_array(
+            generate_farima(length, d_from_hurst(hurst), rng, mean=mean, std=std),
+            bin_width,
+        )
+
+    @classmethod
+    def onoff_aggregate(
+        cls,
+        duration: float,
+        bin_width: float,
+        seed: int,
+        sources: int = 16,
+        alpha: float = 1.4,
+        mean_period: float = 0.1,
+        peak_rate: float = 1.0,
+    ) -> "TraceSource":
+        """Aggregate of heavy-tailed on/off sources (``H = (3 - alpha)/2``)."""
+        rng = np.random.default_rng(seed)
+        return cls.from_array(
+            aggregate_onoff_rates(
+                sources, duration, bin_width, rng,
+                alpha=alpha, mean_period=mean_period, peak_rate=peak_rate,
+            ),
+            bin_width,
+        )
+
+    @classmethod
+    def mginf(
+        cls,
+        duration: float,
+        bin_width: float,
+        seed: int,
+        arrival_rate: float = 10.0,
+        duration_law: TruncatedPareto | None = None,
+        rate_per_session: float = 1.0,
+    ) -> "TraceSource":
+        """M/G/∞ active-session counts scaled to a fluid rate."""
+        law = duration_law if duration_law is not None else TruncatedPareto(
+            theta=0.05, alpha=1.5, cutoff=50.0
+        )
+        rng = np.random.default_rng(seed)
+        counts = mginf_rates(arrival_rate, law, duration, bin_width, rng)
+        return cls.from_array(counts * rate_per_session, bin_width)

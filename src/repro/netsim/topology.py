@@ -1,0 +1,170 @@
+"""Declarative topology: nodes + directed links + flow routes.
+
+A :class:`Topology` is the complete static description of an experiment:
+which nodes exist, which directed links connect them, and which
+:class:`Flow`\\ s (source adapter + route + priority class) traverse
+them.  Construction validates everything the simulator assumes —
+
+* node and flow names are unique, links reference declared nodes, and
+  nothing leaves a sink;
+* the link graph is a DAG (fluid networks with feedback need a fixed
+  point per event, which this simulator deliberately does not attempt);
+* every route follows declared links hop by hop and terminates at a
+  sink, with only queue/priority/mux nodes along the way —
+
+and precomputes the deterministic topological order the simulator uses
+to propagate rate changes downstream in a single pass.  All collections
+are insertion-ordered (lists/dicts keyed by declaration index), so
+iteration order — and therefore the event schedule — is independent of
+hash randomization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netsim.nodes import Node, SinkNode
+from repro.netsim.sources import RateSource
+
+__all__ = ["Flow", "Topology"]
+
+
+@dataclass(frozen=True)
+class Flow:
+    """One routed traffic stream.
+
+    Attributes
+    ----------
+    name:
+        Unique flow identifier (per-flow stats are keyed by it).
+    source:
+        The :class:`~repro.netsim.sources.RateSource` driving the flow.
+    route:
+        Node names the fluid traverses, in order; the last must be a
+        :class:`~repro.netsim.nodes.SinkNode`.
+    priority:
+        Class index at :class:`~repro.netsim.nodes.PriorityNode` hops
+        (lower number = served first; ignored elsewhere).
+    """
+
+    name: str
+    source: RateSource
+    route: tuple[str, ...]
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("flow name must be non-empty")
+        if not self.route:
+            raise ValueError(f"flow {self.name!r}: route must be non-empty")
+        if self.priority < 0:
+            raise ValueError(f"flow {self.name!r}: priority must be >= 0")
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Validated network description (nodes, links, flows).
+
+    Examples
+    --------
+    >>> from repro.netsim.nodes import QueueNode, SinkNode
+    >>> from repro.netsim.sources import SegmentSource
+    >>> topo = Topology(
+    ...     nodes=(QueueNode("q", service_rate=1.0, buffer=0.5), SinkNode("out")),
+    ...     links=(("q", "out"),),
+    ...     flows=(Flow("f", SegmentSource((1.0,), (2.0,)), route=("q", "out")),),
+    ... )
+    >>> topo.order
+    ('q', 'out')
+    """
+
+    nodes: tuple[Node, ...]
+    links: tuple[tuple[str, str], ...]
+    flows: tuple[Flow, ...]
+    order: tuple[str, ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        names = [node.name for node in self.nodes]
+        if len(set(names)) != len(names):
+            raise ValueError("node names must be unique")
+        if not self.nodes:
+            raise ValueError("topology needs at least one node")
+        flow_names = [flow.name for flow in self.flows]
+        if len(set(flow_names)) != len(flow_names):
+            raise ValueError("flow names must be unique")
+        by_name = {node.name: node for node in self.nodes}
+
+        seen_links = set()
+        for src, dst in self.links:
+            if src not in by_name or dst not in by_name:
+                raise ValueError(f"link ({src!r}, {dst!r}) references unknown nodes")
+            if src == dst:
+                raise ValueError(f"self-link at {src!r}")
+            if isinstance(by_name[src], SinkNode):
+                raise ValueError(f"sink {src!r} cannot have outgoing links")
+            if (src, dst) in seen_links:
+                raise ValueError(f"duplicate link ({src!r}, {dst!r})")
+            seen_links.add((src, dst))
+
+        for flow in self.flows:
+            for hop in flow.route:
+                if hop not in by_name:
+                    raise ValueError(f"flow {flow.name!r}: unknown node {hop!r}")
+            if not isinstance(by_name[flow.route[-1]], SinkNode):
+                raise ValueError(f"flow {flow.name!r}: route must end at a sink")
+            for hop in flow.route[:-1]:
+                if isinstance(by_name[hop], SinkNode):
+                    raise ValueError(
+                        f"flow {flow.name!r}: sink {hop!r} mid-route"
+                    )
+            for src, dst in zip(flow.route[:-1], flow.route[1:]):
+                if (src, dst) not in seen_links:
+                    raise ValueError(
+                        f"flow {flow.name!r}: hop ({src!r}, {dst!r}) is not a link"
+                    )
+
+        object.__setattr__(self, "order", self._topological_order())
+
+    def _topological_order(self) -> tuple[str, ...]:
+        """Kahn's algorithm, ties broken by node declaration order."""
+        names = [node.name for node in self.nodes]
+        position = {name: index for index, name in enumerate(names)}
+        indegree = {name: 0 for name in names}
+        outgoing: dict[str, list[str]] = {name: [] for name in names}
+        for src, dst in self.links:
+            outgoing[src].append(dst)
+            indegree[dst] += 1
+        ready = sorted(
+            (name for name, degree in indegree.items() if degree == 0),
+            key=position.__getitem__,
+        )
+        order: list[str] = []
+        while ready:
+            name = ready.pop(0)
+            order.append(name)
+            inserted = False
+            for succ in outgoing[name]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    ready.append(succ)
+                    inserted = True
+            if inserted:
+                ready.sort(key=position.__getitem__)
+        if len(order) != len(names):
+            cyclic = sorted(set(names) - set(order), key=position.__getitem__)
+            raise ValueError(f"topology has a cycle through {cyclic}")
+        return tuple(order)
+
+    @property
+    def node_by_name(self) -> dict[str, Node]:
+        """Declaration-ordered name -> node mapping."""
+        return {node.name: node for node in self.nodes}
+
+    def describe(self) -> str:
+        """One-line human summary."""
+        kinds: dict[str, int] = {}
+        for node in self.nodes:
+            kinds[node.kind] = kinds.get(node.kind, 0) + 1
+        parts = ", ".join(f"{count} {kind}" for kind, count in sorted(kinds.items()))
+        return f"{len(self.nodes)} nodes ({parts}), {len(self.links)} links, " \
+               f"{len(self.flows)} flows"

@@ -8,7 +8,8 @@ generated scenarios instead of hand-picked points: a seeded stratified
 :class:`~repro.verify.scenario.ScenarioGenerator`, differential
 :mod:`oracles <repro.verify.oracles>` (spectral vs direct kernel, batched
 vs solo stacked-kernel solves, bound ordering under refinement, solver vs
-Monte Carlo, solver vs Markov),
+Monte Carlo, solver vs Markov, solver vs the :mod:`repro.netsim` network
+simulator),
 :mod:`metamorphic relations <repro.verify.metamorphic>` (monotonicity,
 relabeling invariance, shuffle-beyond-horizon invariance, Hurst
 recovery), plus JSON failure-corpus persistence with greedy case
@@ -29,6 +30,7 @@ from repro.verify.oracles import (
     BoundOrderingOracle,
     MarkovEquivalenceOracle,
     MonteCarloOracle,
+    NetSimSolverOracle,
     SpectralDirectOracle,
 )
 from repro.verify.runner import (
@@ -43,6 +45,7 @@ from repro.verify.scenario import (
     REGIMES,
     Scenario,
     ScenarioGenerator,
+    netsim_single_queue,
 )
 
 __all__ = [
@@ -60,6 +63,7 @@ __all__ = [
     "HurstRecoveryRelation",
     "MarkovEquivalenceOracle",
     "MonteCarloOracle",
+    "NetSimSolverOracle",
     "RateRelabelInvarianceRelation",
     "Scenario",
     "ScenarioGenerator",
@@ -69,6 +73,7 @@ __all__ = [
     "VerifyCheck",
     "default_checks",
     "minimize_scenario",
+    "netsim_single_queue",
     "run_corpus",
     "run_fuzz",
 ]

@@ -81,6 +81,10 @@ class CheckContext:
         :func:`~repro.exec.task.solve_task_batch` inline; the batched-
         vs-solo oracle's injected-bug tests replace it with a lying
         implementation.
+    simulate_network:
+        ``(topology, duration, warmup, seed) -> NetSimResult``; the
+        network-simulator hook the netsim-vs-solver oracle replicates
+        through.  The default runs :func:`repro.netsim.simulate` inline.
     """
 
     def __init__(
@@ -88,10 +92,14 @@ class CheckContext:
         solve: Callable[[SolveTask], LossRateResult] | None = None,
         rate_trace: Callable[..., np.ndarray] | None = None,
         solve_batch: Callable[[Sequence[SolveTask]], list[LossRateResult]] | None = None,
+        simulate_network: Callable[..., object] | None = None,
     ) -> None:
         self.solve = solve if solve is not None else _inline_solve
         self.rate_trace = rate_trace if rate_trace is not None else _sample_rate_trace
         self.solve_batch = solve_batch if solve_batch is not None else _inline_solve_batch
+        self.simulate_network = (
+            simulate_network if simulate_network is not None else _inline_simulate
+        )
 
     def solve_scenario(self, scenario: Scenario, **overrides: object) -> LossRateResult:
         """Solve a scenario (or a variant of it) through the solve hook.
@@ -127,6 +135,12 @@ def _inline_solve(task: SolveTask) -> LossRateResult:
 
 def _inline_solve_batch(tasks: Sequence[SolveTask]) -> list[LossRateResult]:
     return solve_task_batch(list(tasks))
+
+
+def _inline_simulate(topology, duration: float, warmup: float, seed: int):
+    from repro.netsim import simulate
+
+    return simulate(topology, duration=duration, warmup=warmup, seed=seed)
 
 
 def _sample_rate_trace(

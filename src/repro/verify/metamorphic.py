@@ -257,9 +257,11 @@ class HurstRecoveryRelation:
 
     def applies(self, scenario: Scenario) -> bool:
         law = scenario.source.interarrival
-        # Estimator bias explodes at the alpha edges; the relation tests
-        # the mid-range mapping, the edges belong to the Hypothesis suite.
-        return 1.2 <= law.alpha <= 1.8 and scenario.source.rate_variance > 0.0
+        # Estimator bias explodes at the alpha edges (near alpha = 2 the
+        # target H approaches 0.5 and both estimators read high); the
+        # relation tests the mid-range mapping, the edges belong to the
+        # Hypothesis suite.
+        return 1.2 <= law.alpha <= 1.75 and scenario.source.rate_variance > 0.0
 
     def run(self, scenario: Scenario, ctx: CheckContext) -> CheckOutcome:
         from repro.analysis import rs_hurst, variance_time_hurst

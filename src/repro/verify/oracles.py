@@ -18,7 +18,11 @@ numerical path and compares:
 * :class:`BatchedSoloOracle` — the v3 stacked multi-task kernel against
   one-at-a-time solves of the same tasks; the batched path promises
   bit-identical results, so the comparison is exact equality, not a
-  tolerance.
+  tolerance;
+* :class:`NetSimSolverOracle` — the solver bracket against confidence
+  bands from the *network* simulator (:mod:`repro.netsim`) run on the
+  scenario's one-queue topology: a completely independent event-driven
+  code path that must reproduce the same queue.
 """
 
 from __future__ import annotations
@@ -30,13 +34,14 @@ import numpy as np
 
 from repro.exec.task import SolveTask
 from repro.verify.checks import CheckContext, CheckOutcome
-from repro.verify.scenario import Scenario
+from repro.verify.scenario import Scenario, netsim_single_queue
 
 __all__ = [
     "BatchedSoloOracle",
     "BoundOrderingOracle",
     "MarkovEquivalenceOracle",
     "MonteCarloOracle",
+    "NetSimSolverOracle",
     "SpectralDirectOracle",
 ]
 
@@ -327,6 +332,85 @@ class MonteCarloOracle:
         return CheckOutcome.ok(
             self.name,
             mc_mean=mean,
+            solver_lower=result.lower,
+            solver_upper=result.upper,
+        )
+
+
+class NetSimSolverOracle:
+    """The network simulator must agree with the solver on one queue.
+
+    Builds the scenario's queue as a one-node :mod:`repro.netsim`
+    topology (:func:`~repro.verify.scenario.netsim_single_queue`), runs
+    ``batches`` independent seeded replications through the
+    ``simulate_network`` hook, forms the batch-mean 99 % confidence band
+    of the observed loss rate and requires it to overlap the solver's
+    ``[lower - slack, upper + slack]`` bracket.  The simulator clips the
+    *same* fluid recursion continuously in time, so beyond Monte Carlo
+    noise the two paths measure one quantity; cases whose loss is too
+    small to resolve by simulation are skipped.
+    """
+
+    name = "netsim_vs_solver"
+    kind = "oracle"
+    expensive = True
+
+    def __init__(
+        self,
+        batches: int = 5,
+        horizon_epochs: int = 2500,
+        warmup_epochs: int = 500,
+        z_score: float = 2.58,
+        min_loss: float = 1e-4,
+        slack: float = 0.25,
+    ) -> None:
+        self.batches = batches
+        self.horizon_epochs = horizon_epochs
+        self.warmup_epochs = warmup_epochs
+        self.z_score = z_score
+        self.min_loss = min_loss
+        self.slack = slack
+
+    def applies(self, scenario: Scenario) -> bool:
+        return _has_loss_path(scenario)
+
+    def run(self, scenario: Scenario, ctx: CheckContext) -> CheckOutcome:
+        result = ctx.solve_scenario(scenario)
+        if result.upper < self.min_loss:
+            return CheckOutcome.skip(
+                self.name, f"loss below netsim resolution ({result.upper:.2e})"
+            )
+        topology = netsim_single_queue(scenario)
+        mean_epoch = scenario.source.mean_interval
+        duration = self.horizon_epochs * mean_epoch
+        warmup = self.warmup_epochs * mean_epoch
+        seeds = ctx.rng(scenario, salt=3).integers(0, 1 << 62, size=self.batches)
+        losses = np.array([
+            ctx.simulate_network(
+                topology, duration=duration, warmup=warmup, seed=int(seed)
+            ).node_stats["queue"].loss_rate
+            for seed in seeds
+        ])
+        mean = float(losses.mean())
+        half_width = float(
+            self.z_score * losses.std(ddof=1) / math.sqrt(self.batches)
+        )
+        band_low = mean - half_width
+        band_high = mean + half_width
+        lo = result.lower * (1.0 - self.slack) - self.min_loss
+        hi = result.upper * (1.0 + self.slack) + self.min_loss
+        if band_high < lo or band_low > hi:
+            return CheckOutcome.fail(
+                self.name,
+                "network-simulator confidence band misses the solver bracket",
+                netsim_mean=mean,
+                netsim_half_width=half_width,
+                solver_lower=result.lower,
+                solver_upper=result.upper,
+            )
+        return CheckOutcome.ok(
+            self.name,
+            netsim_mean=mean,
             solver_lower=result.lower,
             solver_upper=result.upper,
         )

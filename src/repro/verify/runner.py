@@ -35,6 +35,7 @@ from repro.verify.oracles import (
     BoundOrderingOracle,
     MarkovEquivalenceOracle,
     MonteCarloOracle,
+    NetSimSolverOracle,
     SpectralDirectOracle,
 )
 from repro.verify.scenario import Scenario, ScenarioGenerator
@@ -49,7 +50,7 @@ __all__ = [
 
 
 def default_checks() -> list[VerifyCheck]:
-    """The standard check battery (5 oracles + 5 metamorphic relations)."""
+    """The standard check battery (6 oracles + 5 metamorphic relations)."""
     return [
         SpectralDirectOracle(),
         BatchedSoloOracle(),
@@ -59,6 +60,7 @@ def default_checks() -> list[VerifyCheck]:
         RateRelabelInvarianceRelation(),
         MonteCarloOracle(),
         MarkovEquivalenceOracle(),
+        NetSimSolverOracle(),
         ShuffleInvarianceRelation(),
         HurstRecoveryRelation(),
     ]

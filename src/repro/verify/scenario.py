@@ -37,6 +37,7 @@ __all__ = [
     "REGIMES",
     "Scenario",
     "ScenarioGenerator",
+    "netsim_single_queue",
 ]
 
 FUZZ_SOLVER_CONFIG = SolverConfig(
@@ -132,6 +133,36 @@ class Scenario:
             f"util={self.utilization:.3f} buffer={self.normalized_buffer:g}s "
             f"seed={self.seed}"
         )
+
+
+def netsim_single_queue(scenario: Scenario):
+    """The scenario's queue as a one-node ``repro.netsim`` topology.
+
+    A single :class:`~repro.netsim.nodes.QueueNode` fed by a
+    :class:`~repro.netsim.sources.RenewalSource` over the scenario's
+    source is *exactly* the model queue of Eq. 9 (continuous clipping
+    equals once-per-interval clipping when the drift sign is constant
+    within an interval), so the network simulator and the spectral
+    solver must agree on it — the property the
+    :class:`~repro.verify.oracles.NetSimSolverOracle` checks.
+    """
+    from repro.netsim import Flow, QueueNode, RenewalSource, SinkNode, Topology
+
+    service_rate = scenario.source.mean_rate / scenario.utilization
+    return Topology(
+        nodes=(
+            QueueNode(
+                "queue",
+                service_rate=service_rate,
+                buffer=scenario.normalized_buffer * service_rate,
+            ),
+            SinkNode("sink"),
+        ),
+        links=(("queue", "sink"),),
+        flows=(
+            Flow("flow", RenewalSource(scenario.source), route=("queue", "sink")),
+        ),
+    )
 
 
 class ScenarioGenerator:

@@ -27,6 +27,27 @@ def test_lint_cli_reports_findings_and_exit_code(tmp_path, capsys):
     assert "NUM001" in out and "repro/mod.py:2" in out
 
 
+def test_lint_rules_reach_the_netsim_package(tmp_path, capsys):
+    """NUM hygiene rules apply inside ``repro.netsim``, not just core.
+
+    The simulator's determinism contract forbids global RNG state and
+    wall-clock reads in simulation logic; this pins the rule families
+    to the package path so a future scoping change cannot silently
+    exempt it.
+    """
+    bad = tmp_path / "repro" / "netsim" / "mod.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text(
+        "import time\n\nimport numpy as np\n\n\n"
+        "def f():\n    return np.random.rand(), time.time()\n",
+        encoding="utf-8",
+    )
+    code = main(["lint", str(tmp_path), "--root", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "NUM002" in out and "NUM003" in out
+
+
 def test_lint_cli_json_format_and_out_file(tmp_path, capsys):
     bad = tmp_path / "repro" / "mod.py"
     bad.parent.mkdir(parents=True)

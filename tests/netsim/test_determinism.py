@@ -1,0 +1,106 @@
+"""The tested invariant: same seed + topology => bit-identical runs.
+
+Covers both replication within one process and independence from hash
+randomization: the full event trace and every statistic must match bit
+for bit across repeated runs and across interpreters launched with
+different ``PYTHONHASHSEED`` values.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.netsim import (
+    Flow,
+    MuxNode,
+    QueueNode,
+    RenewalSource,
+    SinkNode,
+    Topology,
+    multiplexer_topology,
+    simulate,
+    tandem_topology,
+)
+
+
+def mux_topology(small_source) -> Topology:
+    service = 3.0 * small_source.mean_rate / 0.9
+    return Topology(
+        nodes=(
+            MuxNode("mux"),
+            QueueNode("queue", service_rate=service, buffer=0.1 * service),
+            SinkNode("sink"),
+        ),
+        links=(("mux", "queue"), ("queue", "sink")),
+        flows=tuple(
+            Flow(f"f{i}", RenewalSource(small_source), route=("mux", "queue", "sink"))
+            for i in range(3)
+        ),
+    )
+
+
+def test_same_seed_is_bit_identical(small_source):
+    topo = mux_topology(small_source)
+    first = simulate(topo, duration=50.0, warmup=5.0, seed=11, record_trace=True)
+    second = simulate(topo, duration=50.0, warmup=5.0, seed=11, record_trace=True)
+    assert first.event_trace == second.event_trace  # bit-for-bit, no tolerance
+    assert first.node_stats == second.node_stats
+    assert first.flow_stats == second.flow_stats
+    assert first.events_processed == second.events_processed
+    assert first.events_stale == second.events_stale
+
+
+def test_different_seeds_differ(small_source):
+    topo = mux_topology(small_source)
+    first = simulate(topo, duration=50.0, seed=11, record_trace=True)
+    other = simulate(topo, duration=50.0, seed=12, record_trace=True)
+    assert first.event_trace != other.event_trace
+
+
+def test_presets_are_deterministic():
+    for build in (tandem_topology, multiplexer_topology):
+        topo = build(utilization=0.9, normalized_buffer=0.1)
+        first = simulate(topo, duration=30.0, seed=3, record_trace=True)
+        second = simulate(topo, duration=30.0, seed=3, record_trace=True)
+        assert first.event_trace == second.event_trace
+        assert first.node_stats == second.node_stats
+
+
+_SUBPROCESS_SCRIPT = """
+import json, sys
+from repro.netsim import multiplexer_topology, simulate
+
+topo = multiplexer_topology(utilization=0.9, normalized_buffer=0.1, sources=3)
+result = simulate(topo, duration=40.0, warmup=4.0, seed=7, record_trace=True)
+payload = {
+    "trace": [[t, tag, target, value] for t, tag, target, value in result.event_trace],
+    "stats": {
+        name: [s.arrived_work, s.served_work, s.lost_work, s.mean_occupancy]
+        for name, s in sorted(result.node_stats.items())
+    },
+    "events": result.events_processed,
+}
+json.dump(payload, sys.stdout)
+"""
+
+
+@pytest.mark.slow
+def test_trace_is_independent_of_hash_randomization():
+    """PYTHONHASHSEED must not leak into the event schedule or the stats."""
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    outputs = []
+    for hashseed in ("0", "1", "31337"):
+        env = dict(os.environ, PYTHONHASHSEED=hashseed, PYTHONPATH=src)
+        proc = subprocess.run(
+            [sys.executable, "-c", _SUBPROCESS_SCRIPT],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        outputs.append(json.loads(proc.stdout))
+    assert outputs[0] == outputs[1] == outputs[2]
+    assert outputs[0]["events"] > 0

@@ -1,0 +1,133 @@
+"""Topology validation and the deterministic topological order."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim import (
+    Flow,
+    MuxNode,
+    PriorityNode,
+    QueueNode,
+    SegmentSource,
+    SinkNode,
+    Topology,
+)
+
+SRC = SegmentSource(durations=(1.0,), rates=(1.0,))
+
+
+def queue(name: str) -> QueueNode:
+    return QueueNode(name, service_rate=1.0, buffer=1.0)
+
+
+def test_valid_topology_orders_nodes_topologically():
+    topo = Topology(
+        nodes=(SinkNode("out"), queue("b"), queue("a"), MuxNode("m")),
+        links=(("a", "m"), ("b", "m"), ("m", "out")),
+        flows=(Flow("f", SRC, route=("a", "m", "out")),),
+    )
+    assert topo.order.index("a") < topo.order.index("m")
+    assert topo.order.index("b") < topo.order.index("m")
+    assert topo.order.index("m") < topo.order.index("out")
+    assert set(topo.node_by_name) == {"a", "b", "m", "out"}
+
+
+def test_order_ties_follow_declaration_order():
+    topo = Topology(
+        nodes=(queue("z"), queue("a"), SinkNode("out")),
+        links=(("z", "out"), ("a", "out")),
+        flows=(),
+    )
+    assert topo.order == ("z", "a", "out")  # declaration order, not alphabetical
+
+
+def test_node_validation():
+    with pytest.raises(ValueError):
+        QueueNode("q", service_rate=0.0, buffer=1.0)
+    with pytest.raises(ValueError):
+        QueueNode("q", service_rate=1.0, buffer=-1.0)
+    with pytest.raises(ValueError):
+        PriorityNode("", service_rate=1.0, buffer=1.0)
+
+
+def test_duplicate_node_names_rejected():
+    with pytest.raises(ValueError, match="unique"):
+        Topology(nodes=(queue("q"), queue("q")), links=(), flows=())
+
+
+def test_duplicate_flow_names_rejected():
+    with pytest.raises(ValueError, match="unique"):
+        Topology(
+            nodes=(queue("q"), SinkNode("out")),
+            links=(("q", "out"),),
+            flows=(
+                Flow("f", SRC, route=("q", "out")),
+                Flow("f", SRC, route=("q", "out")),
+            ),
+        )
+
+
+def test_link_validation():
+    with pytest.raises(ValueError, match="unknown"):
+        Topology(nodes=(queue("q"),), links=(("q", "ghost"),), flows=())
+    with pytest.raises(ValueError, match="self-link"):
+        Topology(nodes=(queue("q"),), links=(("q", "q"),), flows=())
+    with pytest.raises(ValueError, match="duplicate"):
+        Topology(
+            nodes=(queue("q"), SinkNode("out")),
+            links=(("q", "out"), ("q", "out")),
+            flows=(),
+        )
+    with pytest.raises(ValueError, match="sink"):
+        Topology(
+            nodes=(queue("q"), SinkNode("out")),
+            links=(("out", "q"),),
+            flows=(),
+        )
+
+
+def test_route_validation():
+    nodes = (queue("a"), queue("b"), SinkNode("out"))
+    links = (("a", "b"), ("b", "out"))
+    with pytest.raises(ValueError, match="end at a sink"):
+        Topology(nodes=nodes, links=links, flows=(Flow("f", SRC, route=("a", "b")),))
+    with pytest.raises(ValueError, match="not a link"):
+        Topology(nodes=nodes, links=links, flows=(Flow("f", SRC, route=("a", "out")),))
+    with pytest.raises(ValueError, match="unknown"):
+        Topology(nodes=nodes, links=links, flows=(Flow("f", SRC, route=("ghost", "out")),))
+    with pytest.raises(ValueError, match="mid-route"):
+        # The mid-route sink check fires before hop-link checking.
+        Topology(
+            nodes=nodes + (SinkNode("out2"),),
+            links=links,
+            flows=(Flow("f", SRC, route=("a", "out", "out2")),),
+        )
+
+
+def test_cycle_rejected():
+    with pytest.raises(ValueError, match="cycle"):
+        Topology(
+            nodes=(queue("a"), queue("b")),
+            links=(("a", "b"), ("b", "a")),
+            flows=(),
+        )
+
+
+def test_flow_validation():
+    with pytest.raises(ValueError):
+        Flow("", SRC, route=("q",))
+    with pytest.raises(ValueError):
+        Flow("f", SRC, route=())
+    with pytest.raises(ValueError):
+        Flow("f", SRC, route=("q",), priority=-1)
+
+
+def test_describe_summarizes_kinds():
+    topo = Topology(
+        nodes=(MuxNode("m"), queue("q"), SinkNode("out")),
+        links=(("m", "q"), ("q", "out")),
+        flows=(Flow("f", SRC, route=("m", "q", "out")),),
+    )
+    text = topo.describe()
+    assert "3 nodes" in text and "1 queue" in text and "1 flows" in text

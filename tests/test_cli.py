@@ -62,6 +62,34 @@ class TestParser:
         assert args.batch_size == 8
         assert args.max_queue == 64
 
+    def test_netsim_defaults(self):
+        args = build_parser().parse_args(["netsim", "tandem"])
+        assert args.preset == "tandem"
+        assert args.hops == 2
+        assert args.sources == 8
+        assert args.utilizations is None and args.buffers is None
+        assert args.duration == 200.0
+        assert args.warmup == 20.0
+        assert args.seed == 0
+        assert args.hurst == 0.8
+        assert args.detail is False
+
+    def test_netsim_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["netsim", "mux", "--sources", "4", "--utilization", "0.8",
+             "--utilization", "0.95", "--buffer", "0.2", "--duration", "50",
+             "--warmup", "5", "--seed", "7", "--detail"]
+        )
+        assert args.preset == "mux"
+        assert args.sources == 4
+        assert args.utilizations == [0.8, 0.95]
+        assert args.buffers == [0.2]
+        assert args.detail is True
+
+    def test_netsim_rejects_unknown_preset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["netsim", "ring"])
+
     def test_cache_actions_are_exclusive(self):
         args = build_parser().parse_args(["cache", "--stats"])
         assert args.stats and not args.compact
@@ -190,6 +218,27 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "4 -> 1 lines" in out
         assert len(SolveCache(tmp_path)) == 1
+
+    def test_netsim_tandem_prints_table(self, capsys):
+        code = main(["netsim", "tandem", "--utilization", "0.9",
+                     "--buffer", "0.1", "--duration", "20", "--warmup", "2"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "Tandem preset" in captured.out
+        assert "loss_rate" in captured.out
+        assert "events/s" in captured.err
+
+    def test_netsim_mux_detail_and_out(self, capsys, tmp_path):
+        target = tmp_path / "mux.txt"
+        code = main(["netsim", "mux", "--sources", "3", "--utilization", "0.9",
+                     "--buffer", "0.1", "--duration", "20", "--warmup", "2",
+                     "--detail", "--out", str(target)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Multiplexer preset" in out
+        assert "queue.loss_rate" in out  # per-node detail block
+        assert target.exists()
+        assert "Multiplexer preset" in target.read_text()
 
     def test_cache_dir_at_a_file_fails_cleanly_for_cache_cmd(self, tmp_path):
         target = tmp_path / "not-a-dir"

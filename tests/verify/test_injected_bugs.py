@@ -27,6 +27,7 @@ from repro.verify import (
     HurstRecoveryRelation,
     MarkovEquivalenceOracle,
     MonteCarloOracle,
+    NetSimSolverOracle,
     RateRelabelInvarianceRelation,
     Scenario,
     ServiceMonotonicityRelation,
@@ -141,6 +142,28 @@ def test_batched_solo_oracle_fires_on_short_batch(lossy_scenario):
     assert_fires(check, lossy_scenario, ctx)
 
 
+def test_netsim_oracle_fires_on_biased_solver(lossy_scenario):
+    check = NetSimSolverOracle()
+    assert_honest_pass(check, lossy_scenario)
+    ctx = CheckContext(solve=lying_solve(lambda task: True, scaled(50.0)))
+    assert_fires(check, lossy_scenario, ctx)
+
+
+def test_netsim_oracle_fires_on_lying_simulator(lossy_scenario):
+    # Inject the bug on the *simulator* side of the differential pair: a
+    # network simulator that over-reports loss 100x must also trip it.
+    from repro.netsim import simulate
+
+    def lying_sim(topology, duration, warmup, seed):
+        result = simulate(topology, duration=duration, warmup=warmup, seed=seed)
+        queue = result.node_stats["queue"]
+        bad = replace(queue, loss_rate=queue.loss_rate * 100.0 + 1.0)
+        return replace(result, node_stats={**result.node_stats, "queue": bad})
+
+    check = NetSimSolverOracle()
+    assert_fires(check, lossy_scenario, CheckContext(simulate_network=lying_sim))
+
+
 def test_markov_oracle_fires_on_decade_scale_bias(lossy_scenario):
     check = MarkovEquivalenceOracle()
     assert_honest_pass(check, lossy_scenario)
@@ -238,6 +261,7 @@ def test_every_default_check_is_covered():
         "bound_ordering",
         "solver_vs_monte_carlo",
         "solver_vs_markov",
+        "netsim_vs_solver",
         "buffer_monotone",
         "service_monotone",
         "relabel_invariance",

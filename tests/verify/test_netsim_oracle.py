@@ -1,0 +1,72 @@
+"""In-suite enforcement: netsim agrees with the solver on a seeded grid.
+
+This is the cross-validation the netsim subsystem ships with: every
+applicable scenario of a fixed seeded stream must see the network
+simulator's Monte Carlo confidence band overlap the spectral solver's
+bracket, judged by the same :class:`NetSimSolverOracle` the fuzz battery
+rotates through.  A regression in either code path fails the suite, not
+just the nightly fuzz job.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim import QueueNode, RenewalSource, SinkNode
+from repro.verify import (
+    CheckContext,
+    NetSimSolverOracle,
+    ScenarioGenerator,
+    netsim_single_queue,
+)
+
+
+def test_single_queue_topology_is_the_model_queue(lossy_scenario):
+    topo = netsim_single_queue(lossy_scenario)
+    queue, sink = topo.nodes
+    assert isinstance(queue, QueueNode) and isinstance(sink, SinkNode)
+    service = lossy_scenario.source.mean_rate / lossy_scenario.utilization
+    assert queue.service_rate == pytest.approx(service)
+    assert queue.buffer == pytest.approx(
+        lossy_scenario.normalized_buffer * service
+    )
+    (flow,) = topo.flows
+    assert isinstance(flow.source, RenewalSource)
+    assert flow.source.source is lossy_scenario.source
+    assert flow.route == ("queue", "sink")
+
+
+def test_oracle_skips_below_resolution(lossy_scenario):
+    # When the solver brackets the loss below the oracle's resolution
+    # floor, simulation noise cannot adjudicate: the oracle must skip
+    # rather than judge.  Injected through the solve hook because the
+    # fuzz-config bracket never tightens below the floor on real input.
+    from dataclasses import replace
+
+    def tiny_solve(task):
+        return replace(task.run(), lower=1e-12, upper=1e-9)
+
+    outcome = NetSimSolverOracle().run(
+        lossy_scenario, CheckContext(solve=tiny_solve)
+    )
+    assert outcome.skipped
+
+
+@pytest.mark.slow
+def test_netsim_matches_solver_on_seeded_grid(ctx):
+    """The acceptance grid: a fixed scenario stream, zero tolerance for misses."""
+    generator = ScenarioGenerator(seed=20260808)
+    oracle = NetSimSolverOracle()
+    judged = 0
+    for index in range(10):
+        scenario = generator.generate(index)
+        if not oracle.applies(scenario):
+            continue
+        outcome = oracle.run(scenario, ctx)
+        assert outcome.passed, (
+            f"case {index} ({scenario.describe()}): {outcome.message} "
+            f"{outcome.details}"
+        )
+        if not outcome.skipped:
+            judged += 1
+    assert judged >= 4, "the seeded grid must actually exercise the comparison"
