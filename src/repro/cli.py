@@ -41,8 +41,24 @@ Subcommands
     bound ordering, solver vs Monte Carlo, solver vs Markov) and the
     paper's metamorphic relations.  Failures are minimized and persisted
     as JSON under ``--corpus-dir`` (default ``tests/corpus``); replay
-    the persisted corpus with ``repro-lrd fuzz --replay``.  Exits 1 on
-    any failure; the nightly ``fuzz-deep`` CI job runs 5000 cases.
+    the persisted corpus with ``repro-lrd fuzz --replay``.  The case
+    stream is stratified over generating families (renewal, fGn, FARIMA,
+    on/off, M/G/∞, MMPP) as well as parameter regimes;
+    ``--family-report FILE`` writes per-family pass-rate JSON (the
+    nightly CI artifact).  Exits 1 on any failure; the nightly
+    ``fuzz-deep`` CI job runs 5000 cases.
+``compare``
+    Run the matched-moment model comparison
+    (``repro-lrd compare --hurst 0.8 --utilization 0.9 --buffer 0.1
+    --buffer 0.5``): realizes the competing model families (fGn, FARIMA,
+    on/off, M/G/∞, MMPP) at the same marginal moments and Hurst
+    parameter, pushes each through the scenario's queue in the network
+    simulator, and prints an ascii table of simulated loss against the
+    solver bracket per (buffer, family) cell — the paper's claim that
+    models agreeing inside the correlation horizon predict the same
+    loss.  The grid is declared through the Experiment DSL and its
+    solver side runs through the cached engine.  Exits 1 if any judged
+    cell diverges.
 
 Execution-engine flags (``figure`` and ``solve``)
 -------------------------------------------------
@@ -233,7 +249,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--replay", action="store_true",
         help="replay the persisted corpus instead of generating cases",
     )
+    fuzz.add_argument(
+        "--family-report", default=None, metavar="FILE",
+        help="write per-family pass-rate JSON to this file",
+    )
     _add_engine_flags(fuzz)
+
+    compare = sub.add_parser(
+        "compare", help="matched-moment comparison of competing traffic models"
+    )
+    compare.add_argument("--hurst", type=float, default=0.8)
+    compare.add_argument("--utilization", type=float, default=0.9)
+    compare.add_argument(
+        "--buffer", type=float, action="append", default=None, metavar="SECONDS",
+        dest="buffers",
+        help="normalized buffer in seconds of service; repeatable (default: 0.1 and 0.5)",
+    )
+    compare.add_argument("--cutoff", type=float, default=10.0, help="cutoff lag, seconds")
+    compare.add_argument("--mean-interval", type=float, default=0.05)
+    compare.add_argument("--peak", type=float, default=2.0)
+    compare.add_argument("--on-probability", type=float, default=0.5)
+    compare.add_argument(
+        "--family", action="append", default=None, metavar="NAME", dest="families",
+        help="model family to include; repeatable (default: all five)",
+    )
+    compare.add_argument("--batches", type=int, default=4, metavar="N",
+                         help="independent simulation batches per cell (default: 4)")
+    compare.add_argument("--seed", type=int, default=0,
+                         help="master seed of the per-cell simulations")
+    compare.add_argument("--out", default=None, help="also write the table to this file")
+    _add_engine_flags(compare)
 
     netsim = sub.add_parser(
         "netsim", help="run a network-of-queues simulation preset"
@@ -435,9 +480,58 @@ def _run_fuzz(args: argparse.Namespace) -> int:
                 return 2
         print(report.summary())
         _print_engine_summary(engine)
+    if args.family_report:
+        import json
+        from pathlib import Path
+
+        payload = json.dumps(report.family_report(), indent=2) + "\n"
+        Path(args.family_report).write_text(payload, encoding="utf-8")
+        print(f"family report: wrote {args.family_report}", file=sys.stderr)
     for path in report.corpus_paths:
         print(f"corpus: wrote {path}", file=sys.stderr)
     return 1 if report.total_failures else 0
+
+
+def _run_compare(args: argparse.Namespace) -> int:
+    """Run the matched-moment family grid; exit 0 only when every cell agrees."""
+    from repro.verify import (
+        FUZZ_SOLVER_CONFIG,
+        MATCHED_FAMILIES,
+        CheckContext,
+        MatchedModelsOracle,
+        run_model_comparison,
+    )
+    from repro.experiments import Experiment
+
+    source = _onoff_source(args)
+    experiment = Experiment("compare", "matched-moment model comparison")
+    experiment.source = source
+    experiment.utilization = args.utilization
+    experiment.config = FUZZ_SOLVER_CONFIG
+    experiment.seed = args.seed
+    try:
+        with experiment.new_group("grid") as group:
+            group.buffers = list(args.buffers or (0.1, 0.5))
+            group.families = list(args.families or MATCHED_FAMILIES)
+    except ValueError as error:
+        print(f"repro-lrd: {error}", file=sys.stderr)
+        return 2
+    with _build_engine(args) as engine:
+        # The DSL's solver-side plan warms the cache, so the comparison
+        # runner's per-scenario solves are pure cache hits.
+        engine.run_grid(experiment.compile()["grid"])
+        ctx = CheckContext(solve=engine.solve)
+        report = run_model_comparison(
+            ctx=ctx,
+            oracle=MatchedModelsOracle(batches=args.batches),
+            **experiment.comparison(),
+        )
+        text = report.format_table()
+        print(text)
+        _print_engine_summary(engine)
+    if args.out:
+        reporting.write_report(args.out, text)
+    return 0 if report.ok else 1
 
 
 def _run_lint(args: argparse.Namespace) -> int:
@@ -564,6 +658,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "fuzz":
         return _run_fuzz(args)
+
+    if args.command == "compare":
+        return _run_compare(args)
 
     if args.command == "netsim":
         return _run_netsim(args)

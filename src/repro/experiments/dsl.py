@@ -1,0 +1,336 @@
+"""Declarative Experiment DSL: specs that compile onto the sweep engine.
+
+An :class:`Experiment` is a *description* of a study — the source under
+test, the shared queue coordinates, and one or more named grids — that
+compiles down to the exact :class:`~repro.exec.task.SweepPlan` objects
+the imperative ``sweep_*`` helpers build.  Because compilation routes
+through the same ``plan_*`` builders (:mod:`repro.experiments.sweeps`),
+a DSL experiment and the equivalent hand-rolled sweep are bit-identical
+through the engine by construction; the golden-file test pins the plan
+fingerprints so an accidental change to either path is caught.
+
+The shape follows the declarative-config idiom: plain attribute
+assignment for experiment-wide defaults, a ``with``-block per grid::
+
+    e = Experiment("horizon-study")
+    e.source = source
+    e.utilization = 0.9
+    with e.new_group("surface") as g:
+        g.buffers = [0.05, 0.1, 0.5]
+        g.cutoffs = [0.5, 2.0, 8.0]
+    with e.new_group("families") as g:
+        g.buffers = [0.1, 0.5]
+        g.families = ["fgn", "farima", "onoff", "mginf", "mmpp"]
+
+    plans = e.compile()          # name -> SweepPlan
+    surfaces = e.run(engine)     # name -> LossSurface (cached solves)
+
+A group that declares ``families`` is a *comparison* group: its plan
+covers the solver side of the matched-moment model comparison (one solve
+per buffer — warming the cache for
+:func:`repro.verify.run_model_comparison`), and :meth:`Experiment.comparison`
+hands the grid spec to the comparison runner.  Its implicit constraint —
+every family realized at the source's matched ``(mean, variance, hurst)``
+— is declared in the group's ``matched`` tuple.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.fingerprint import stable_hash
+from repro.core.solver import SolverConfig
+from repro.core.source import CutoffFluidSource
+from repro.exec.engine import SweepEngine
+from repro.exec.task import SweepPlan
+from repro.experiments.sweeps import (
+    LossSurface,
+    _execute,
+    plan_buffer_cutoff,
+    plan_buffer_scaling,
+    plan_cutoff,
+    plan_hurst_scaling,
+    plan_hurst_superposition,
+)
+
+__all__ = [
+    "Experiment",
+    "ExperimentGroup",
+    "plan_fingerprint",
+]
+
+_MATCHED_MOMENTS = ("mean", "variance", "hurst")
+
+
+class ExperimentGroup:
+    """One named grid of an :class:`Experiment`.
+
+    Declare exactly one supported axis combination by assigning to the
+    axis attributes inside the ``with`` block:
+
+    ==========================  =======================================
+    axes set                    compiles to
+    ==========================  =======================================
+    ``buffers`` + ``cutoffs``   :func:`~repro.experiments.sweeps.plan_buffer_cutoff`
+    ``buffers`` + ``scalings``  :func:`~repro.experiments.sweeps.plan_buffer_scaling`
+    ``hursts`` + ``scalings``   :func:`~repro.experiments.sweeps.plan_hurst_scaling`
+    ``hursts`` + ``streams``    :func:`~repro.experiments.sweeps.plan_hurst_superposition`
+    ``cutoffs`` alone           :func:`~repro.experiments.sweeps.plan_cutoff`
+    ``buffers`` + ``families``  solver side of the model comparison
+    ==========================  =======================================
+
+    ``normalized_buffer`` (cutoff-only grids), ``nominal_hurst``
+    (hurst x scaling) and ``out`` (a ``.npz`` path :meth:`Experiment.run`
+    saves the surface to) refine the grid; ``matched`` names the moments
+    a comparison group holds fixed across families.
+    """
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("group name must be non-empty")
+        self.name = name
+        self.buffers: list[float] | None = None
+        self.cutoffs: list[float] | None = None
+        self.scalings: list[float] | None = None
+        self.hursts: list[float] | None = None
+        self.streams: list[int] | None = None
+        self.families: list[str] | None = None
+        self.normalized_buffer: float | None = None
+        self.nominal_hurst: float | None = None
+        self.matched: tuple[str, ...] = _MATCHED_MOMENTS
+        self.out: str | None = None
+
+    @property
+    def is_comparison(self) -> bool:
+        """True when this group declares competing model families."""
+        return self.families is not None
+
+    def _axes(self) -> tuple[str, ...]:
+        names = ("buffers", "cutoffs", "scalings", "hursts", "streams", "families")
+        return tuple(n for n in names if getattr(self, n) is not None)
+
+    def validate(self) -> None:
+        axes = self._axes()
+        supported = {
+            ("buffers", "cutoffs"),
+            ("buffers", "scalings"),
+            ("hursts", "scalings"),
+            ("hursts", "streams"),
+            ("cutoffs",),
+            ("buffers", "families"),
+        }
+        if axes not in supported:
+            raise ValueError(
+                f"group {self.name!r} declares axes {axes or '()'}; "
+                f"supported combinations: {sorted(supported)}"
+            )
+        if axes == ("cutoffs",) and self.normalized_buffer is None:
+            raise ValueError(
+                f"group {self.name!r}: a cutoff-only grid needs normalized_buffer"
+            )
+        if self.families is not None:
+            from repro.verify.scenario import MATCHED_FAMILIES
+
+            unknown = set(self.families) - set(MATCHED_FAMILIES)
+            if unknown:
+                raise ValueError(
+                    f"group {self.name!r}: unknown families {sorted(unknown)} "
+                    f"(available: {list(MATCHED_FAMILIES)})"
+                )
+            bad = set(self.matched) - set(_MATCHED_MOMENTS)
+            if bad:
+                raise ValueError(
+                    f"group {self.name!r}: cannot match {sorted(bad)} "
+                    f"(supported: {list(_MATCHED_MOMENTS)})"
+                )
+
+
+class Experiment:
+    """A declarative study specification.
+
+    Experiment-wide defaults are plain attributes (``source``,
+    ``utilization``, ``config``, ``seed``); grids are added with
+    :meth:`new_group`; :meth:`compile` lowers every group to a
+    :class:`~repro.exec.task.SweepPlan` and :meth:`run` executes them on
+    a (cached, possibly parallel) engine.
+    """
+
+    def __init__(self, name: str, description: str = "") -> None:
+        if not name:
+            raise ValueError("experiment name must be non-empty")
+        self.name = name
+        self.description = description
+        self.source: CutoffFluidSource | None = None
+        self.utilization: float | None = None
+        self.config: SolverConfig | None = None
+        self.seed: int = 0
+        self.groups: list[ExperimentGroup] = []
+
+    @contextmanager
+    def new_group(self, name: str) -> Iterator[ExperimentGroup]:
+        """Declare one grid; validated and registered when the block exits."""
+        group = ExperimentGroup(name)
+        yield group
+        group.validate()
+        if any(existing.name == group.name for existing in self.groups):
+            raise ValueError(f"duplicate group name: {group.name!r}")
+        self.groups.append(group)
+
+    # ------------------------------------------------------------------ #
+    # compilation
+    # ------------------------------------------------------------------ #
+
+    def _require(self, attr: str) -> object:
+        value = getattr(self, attr)
+        if value is None:
+            raise ValueError(f"experiment {self.name!r} needs {attr} set to compile")
+        return value
+
+    def _compile_group(self, group: ExperimentGroup) -> SweepPlan:
+        source = self._require("source")
+        utilization = float(self._require("utilization"))  # type: ignore[arg-type]
+        assert isinstance(source, CutoffFluidSource)
+        axes = group._axes()
+        if axes == ("buffers", "cutoffs"):
+            return plan_buffer_cutoff(
+                source, utilization,
+                np.asarray(group.buffers, dtype=np.float64),
+                np.asarray(group.cutoffs, dtype=np.float64),
+                self.config,
+            )
+        if axes == ("buffers", "scalings"):
+            return plan_buffer_scaling(
+                source, utilization,
+                np.asarray(group.buffers, dtype=np.float64),
+                np.asarray(group.scalings, dtype=np.float64),
+                self.config,
+            )
+        if axes == ("hursts", "scalings"):
+            return plan_hurst_scaling(
+                source.marginal,
+                self._mean_interval(source),
+                utilization,
+                float(self._group_buffer(group)),
+                np.asarray(group.hursts, dtype=np.float64),
+                np.asarray(group.scalings, dtype=np.float64),
+                cutoff=source.cutoff,
+                nominal_hurst=group.nominal_hurst,
+                config=self.config,
+            )
+        if axes == ("hursts", "streams"):
+            return plan_hurst_superposition(
+                source.marginal,
+                self._mean_interval(source),
+                utilization,
+                float(self._group_buffer(group)),
+                np.asarray(group.hursts, dtype=np.float64),
+                np.asarray(group.streams, dtype=np.int64),
+                cutoff=source.cutoff,
+                config=self.config,
+            )
+        if axes == ("cutoffs",):
+            return plan_cutoff(
+                source, utilization,
+                float(group.normalized_buffer),  # type: ignore[arg-type]
+                np.asarray(group.cutoffs, dtype=np.float64),
+                self.config,
+            )
+        if axes == ("buffers", "families"):
+            # Solver side of the comparison: one bracket per buffer, shared
+            # by every family (the family tag never changes the solver
+            # coordinates) — running this plan warms the cache the
+            # comparison runner's solves then hit.
+            return plan_buffer_cutoff(
+                source, utilization,
+                np.asarray(group.buffers, dtype=np.float64),
+                np.asarray([source.cutoff], dtype=np.float64),
+                self.config,
+            )
+        raise AssertionError(f"unhandled axes {axes}")  # pragma: no cover
+
+    @staticmethod
+    def _mean_interval(source: CutoffFluidSource) -> float:
+        """Calibration-at-infinity mean epoch (the ``from_hurst`` convention)."""
+        law = source.interarrival
+        return law.theta / (law.alpha - 1.0)
+
+    def _group_buffer(self, group: ExperimentGroup) -> float:
+        if group.normalized_buffer is None:
+            raise ValueError(
+                f"group {group.name!r} needs normalized_buffer for this grid"
+            )
+        return group.normalized_buffer
+
+    def compile(self) -> dict[str, SweepPlan]:
+        """Lower every group to its :class:`~repro.exec.task.SweepPlan`."""
+        if not self.groups:
+            raise ValueError(f"experiment {self.name!r} declares no groups")
+        return {group.name: self._compile_group(group) for group in self.groups}
+
+    def fingerprints(self) -> dict[str, str]:
+        """Stable content hash per compiled plan (golden-file material)."""
+        return {
+            name: plan_fingerprint(plan) for name, plan in self.compile().items()
+        }
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+
+    def run(self, engine: SweepEngine | None = None) -> dict[str, LossSurface]:
+        """Execute every compiled plan; save surfaces with an ``out`` path."""
+        surfaces = {}
+        by_name = {group.name: group for group in self.groups}
+        for name, plan in self.compile().items():
+            surface = _execute(plan, engine)
+            if by_name[name].out:
+                surface.save(by_name[name].out)  # type: ignore[arg-type]
+            surfaces[name] = surface
+        return surfaces
+
+    def comparison(self, name: str | None = None) -> dict:
+        """Spec of a comparison group for ``run_model_comparison``.
+
+        Returns the keyword arguments (source, utilization, buffers,
+        families, config, seed) of the named — or single — ``families``
+        group.
+        """
+        candidates = [g for g in self.groups if g.is_comparison]
+        if name is not None:
+            candidates = [g for g in candidates if g.name == name]
+        if not candidates:
+            raise ValueError(f"experiment {self.name!r} has no comparison group")
+        if len(candidates) > 1:
+            raise ValueError(
+                f"experiment {self.name!r} has several comparison groups; "
+                "pass name="
+            )
+        group = candidates[0]
+        return {
+            "source": self._require("source"),
+            "utilization": float(self._require("utilization")),  # type: ignore[arg-type]
+            "buffers": list(group.buffers or ()),
+            "families": tuple(group.families or ()),
+            "config": self.config,
+            "seed": self.seed,
+        }
+
+
+def plan_fingerprint(plan: SweepPlan) -> str:
+    """Content hash of a plan: axes plus every task's solve cache key.
+
+    ``meta`` is deliberately excluded — it is descriptive, can contain
+    non-finite floats, and has no effect on what the engine computes.
+    """
+    payload = {
+        "kind": "sweep_plan",
+        "row_label": plan.row_label,
+        "col_label": plan.col_label,
+        "rows": [float(v).hex() for v in plan.rows],
+        "cols": [float(v).hex() for v in plan.cols],
+        "tasks": [task.cache_key() for task in plan.tasks],
+    }
+    return stable_hash(payload)

@@ -12,6 +12,13 @@ are thin :class:`~repro.exec.task.SweepPlan` builders executed through a
 a process pool, memoize them in the persistent solve cache, or observe
 per-cell telemetry.  The default engine (serial, no cache) reproduces the
 legacy hand-rolled loops bit for bit.
+
+Each ``sweep_*`` function is split into a pure ``plan_*`` builder (the
+grid → :class:`~repro.exec.task.SweepPlan` mapping, no execution) and the
+shared :func:`_execute` step.  The declarative
+:mod:`~repro.experiments.dsl` compiles through the *same* ``plan_*``
+builders, so a DSL experiment and the equivalent hand-rolled sweep are
+bit-identical by construction, not by test luck.
 """
 
 from __future__ import annotations
@@ -30,6 +37,11 @@ from repro.exec.task import SolveTask, SweepPlan
 
 __all__ = [
     "LossSurface",
+    "plan_buffer_cutoff",
+    "plan_buffer_scaling",
+    "plan_cutoff",
+    "plan_hurst_scaling",
+    "plan_hurst_superposition",
     "sweep_buffer_cutoff",
     "sweep_cutoff",
     "sweep_hurst_scaling",
@@ -116,6 +128,32 @@ def _execute(plan: SweepPlan, engine: SweepEngine | None) -> LossSurface:
     )
 
 
+def plan_buffer_cutoff(
+    source: CutoffFluidSource,
+    utilization: float,
+    buffers: np.ndarray,
+    cutoffs: np.ndarray,
+    config: SolverConfig | None = None,
+) -> SweepPlan:
+    """Plan for the (normalized buffer, cutoff lag) grid — Figs. 4 and 5."""
+    buffers = np.asarray(buffers, dtype=np.float64)
+    cutoffs = np.asarray(cutoffs, dtype=np.float64)
+    truncated = [source.with_cutoff(float(cutoff)) for cutoff in cutoffs]
+    tasks = tuple(
+        SolveTask(truncated[j], utilization, float(buffer_seconds), config)
+        for buffer_seconds in buffers
+        for j in range(cutoffs.size)
+    )
+    return SweepPlan(
+        row_label="buffer_s",
+        col_label="cutoff_s",
+        rows=buffers,
+        cols=cutoffs,
+        tasks=tasks,
+        meta={"utilization": utilization, "hurst": source.hurst},
+    )
+
+
 def sweep_buffer_cutoff(
     source: CutoffFluidSource,
     utilization: float,
@@ -125,23 +163,34 @@ def sweep_buffer_cutoff(
     engine: SweepEngine | None = None,
 ) -> LossSurface:
     """Loss over (normalized buffer, cutoff lag) — Figs. 4 and 5."""
-    buffers = np.asarray(buffers, dtype=np.float64)
+    return _execute(plan_buffer_cutoff(source, utilization, buffers, cutoffs, config), engine)
+
+
+def plan_cutoff(
+    source: CutoffFluidSource,
+    utilization: float,
+    normalized_buffer: float,
+    cutoffs: np.ndarray,
+    config: SolverConfig | None = None,
+) -> SweepPlan:
+    """Plan for a cutoff sweep at fixed buffer (one-row grid)."""
     cutoffs = np.asarray(cutoffs, dtype=np.float64)
-    truncated = [source.with_cutoff(float(cutoff)) for cutoff in cutoffs]
     tasks = tuple(
-        SolveTask(truncated[j], utilization, float(buffer_seconds), config)
-        for buffer_seconds in buffers
-        for j in range(cutoffs.size)
+        SolveTask(source.with_cutoff(float(cutoff)), utilization, normalized_buffer, config)
+        for cutoff in cutoffs
     )
-    plan = SweepPlan(
+    return SweepPlan(
         row_label="buffer_s",
         col_label="cutoff_s",
-        rows=buffers,
+        rows=np.array([float(normalized_buffer)]),
         cols=cutoffs,
         tasks=tasks,
-        meta={"utilization": utilization, "hurst": source.hurst},
+        meta={
+            "utilization": utilization,
+            "buffer_s": float(normalized_buffer),
+            "hurst": source.hurst,
+        },
     )
-    return _execute(plan, engine)
 
 
 def sweep_cutoff(
@@ -159,27 +208,12 @@ def sweep_cutoff(
     machinery as their 2-D siblings; unpack with
     ``cutoffs, losses = surface.row_series(0)``.
     """
-    cutoffs = np.asarray(cutoffs, dtype=np.float64)
-    tasks = tuple(
-        SolveTask(source.with_cutoff(float(cutoff)), utilization, normalized_buffer, config)
-        for cutoff in cutoffs
+    return _execute(
+        plan_cutoff(source, utilization, normalized_buffer, cutoffs, config), engine
     )
-    plan = SweepPlan(
-        row_label="buffer_s",
-        col_label="cutoff_s",
-        rows=np.array([float(normalized_buffer)]),
-        cols=cutoffs,
-        tasks=tasks,
-        meta={
-            "utilization": utilization,
-            "buffer_s": float(normalized_buffer),
-            "hurst": source.hurst,
-        },
-    )
-    return _execute(plan, engine)
 
 
-def sweep_hurst_scaling(
+def plan_hurst_scaling(
     marginal: DiscreteMarginal,
     mean_interval: float,
     utilization: float,
@@ -189,14 +223,8 @@ def sweep_hurst_scaling(
     cutoff: float = math.inf,
     nominal_hurst: float | None = None,
     config: SolverConfig | None = None,
-    engine: SweepEngine | None = None,
-) -> LossSurface:
-    """Loss over (Hurst, marginal scaling) — Fig. 10.
-
-    Per the paper, theta is calibrated once at the *nominal* Hurst
-    parameter and held fixed while H varies, so the Hurst axis changes
-    only the tail exponent and not the short-range structure.
-    """
+) -> SweepPlan:
+    """Plan for the (Hurst, marginal scaling) grid — Fig. 10."""
     hursts = np.asarray(hursts, dtype=np.float64)
     scalings = np.asarray(scalings, dtype=np.float64)
     if nominal_hurst is None:
@@ -218,7 +246,7 @@ def sweep_hurst_scaling(
             tasks.append(
                 SolveTask(fixed.with_marginal(scaled), utilization, normalized_buffer, config)
             )
-    plan = SweepPlan(
+    return SweepPlan(
         row_label="hurst",
         col_label="scaling",
         rows=hursts,
@@ -231,10 +259,36 @@ def sweep_hurst_scaling(
             "theta": theta,
         },
     )
-    return _execute(plan, engine)
 
 
-def sweep_hurst_superposition(
+def sweep_hurst_scaling(
+    marginal: DiscreteMarginal,
+    mean_interval: float,
+    utilization: float,
+    normalized_buffer: float,
+    hursts: np.ndarray,
+    scalings: np.ndarray,
+    cutoff: float = math.inf,
+    nominal_hurst: float | None = None,
+    config: SolverConfig | None = None,
+    engine: SweepEngine | None = None,
+) -> LossSurface:
+    """Loss over (Hurst, marginal scaling) — Fig. 10.
+
+    Per the paper, theta is calibrated once at the *nominal* Hurst
+    parameter and held fixed while H varies, so the Hurst axis changes
+    only the tail exponent and not the short-range structure.
+    """
+    return _execute(
+        plan_hurst_scaling(
+            marginal, mean_interval, utilization, normalized_buffer,
+            hursts, scalings, cutoff, nominal_hurst, config,
+        ),
+        engine,
+    )
+
+
+def plan_hurst_superposition(
     marginal: DiscreteMarginal,
     mean_interval: float,
     utilization: float,
@@ -243,9 +297,8 @@ def sweep_hurst_superposition(
     streams: np.ndarray,
     cutoff: float = math.inf,
     config: SolverConfig | None = None,
-    engine: SweepEngine | None = None,
-) -> LossSurface:
-    """Loss over (Hurst, number of superposed streams) — Fig. 11."""
+) -> SweepPlan:
+    """Plan for the (Hurst, superposed streams) grid — Fig. 11."""
     hursts = np.asarray(hursts, dtype=np.float64)
     streams = np.asarray(streams, dtype=np.int64)
     superposed = {int(n): marginal.superposed(int(n)) for n in streams}
@@ -264,7 +317,7 @@ def sweep_hurst_superposition(
         for hurst in hursts
         for n in streams
     )
-    plan = SweepPlan(
+    return SweepPlan(
         row_label="hurst",
         col_label="streams",
         rows=hursts,
@@ -272,7 +325,55 @@ def sweep_hurst_superposition(
         tasks=tasks,
         meta={"utilization": utilization, "buffer_s": normalized_buffer, "cutoff_s": cutoff},
     )
-    return _execute(plan, engine)
+
+
+def sweep_hurst_superposition(
+    marginal: DiscreteMarginal,
+    mean_interval: float,
+    utilization: float,
+    normalized_buffer: float,
+    hursts: np.ndarray,
+    streams: np.ndarray,
+    cutoff: float = math.inf,
+    config: SolverConfig | None = None,
+    engine: SweepEngine | None = None,
+) -> LossSurface:
+    """Loss over (Hurst, number of superposed streams) — Fig. 11."""
+    return _execute(
+        plan_hurst_superposition(
+            marginal, mean_interval, utilization, normalized_buffer,
+            hursts, streams, cutoff, config,
+        ),
+        engine,
+    )
+
+
+def plan_buffer_scaling(
+    source: CutoffFluidSource,
+    utilization: float,
+    buffers: np.ndarray,
+    scalings: np.ndarray,
+    config: SolverConfig | None = None,
+) -> SweepPlan:
+    """Plan for the (normalized buffer, marginal scaling) grid — Figs. 12 and 13."""
+    buffers = np.asarray(buffers, dtype=np.float64)
+    scalings = np.asarray(scalings, dtype=np.float64)
+    scaled_sources = [
+        source.with_marginal(source.marginal.scaled(float(scaling))) for scaling in scalings
+    ]
+    tasks = tuple(
+        SolveTask(scaled_sources[j], utilization, float(buffer_seconds), config)
+        for buffer_seconds in buffers
+        for j in range(scalings.size)
+    )
+    return SweepPlan(
+        row_label="buffer_s",
+        col_label="scaling",
+        rows=buffers,
+        cols=scalings,
+        tasks=tasks,
+        meta={"utilization": utilization, "hurst": source.hurst, "cutoff_s": source.cutoff},
+    )
 
 
 def sweep_buffer_scaling(
@@ -284,22 +385,4 @@ def sweep_buffer_scaling(
     engine: SweepEngine | None = None,
 ) -> LossSurface:
     """Loss over (normalized buffer, marginal scaling) — Figs. 12 and 13."""
-    buffers = np.asarray(buffers, dtype=np.float64)
-    scalings = np.asarray(scalings, dtype=np.float64)
-    scaled_sources = [
-        source.with_marginal(source.marginal.scaled(float(scaling))) for scaling in scalings
-    ]
-    tasks = tuple(
-        SolveTask(scaled_sources[j], utilization, float(buffer_seconds), config)
-        for buffer_seconds in buffers
-        for j in range(scalings.size)
-    )
-    plan = SweepPlan(
-        row_label="buffer_s",
-        col_label="scaling",
-        rows=buffers,
-        cols=scalings,
-        tasks=tasks,
-        meta={"utilization": utilization, "hurst": source.hurst, "cutoff_s": source.cutoff},
-    )
-    return _execute(plan, engine)
+    return _execute(plan_buffer_scaling(source, utilization, buffers, scalings, config), engine)

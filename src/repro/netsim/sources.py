@@ -36,12 +36,14 @@ from repro.core.source import CutoffFluidSource
 from repro.core.truncated_pareto import TruncatedPareto
 from repro.core.validation import check_positive
 from repro.traffic import (
+    MarkovModulatedSource,
     Trace,
     aggregate_onoff_rates,
     d_from_hurst,
     generate_farima,
     generate_fgn,
     mginf_rates,
+    mmpp_rates,
 )
 
 __all__ = [
@@ -223,6 +225,18 @@ class TraceSource(RateSource):
             ),
             bin_width,
         )
+
+    @classmethod
+    def mmpp(
+        cls,
+        model: MarkovModulatedSource,
+        duration: float,
+        bin_width: float,
+        seed: int,
+    ) -> "TraceSource":
+        """Binned trace of a Markov-modulated on/off source."""
+        rng = np.random.default_rng(seed)
+        return cls.from_array(mmpp_rates(model, duration, bin_width, rng), bin_width)
 
     @classmethod
     def mginf(

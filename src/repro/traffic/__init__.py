@@ -20,6 +20,7 @@ from repro.traffic.fgn import (
     sample_stationary_gaussian,
 )
 from repro.traffic.mginf import mginf_mean_rate, mginf_rates
+from repro.traffic.mmpp import MarkovModulatedSource, mmpp_rates
 from repro.traffic.onoff import OnOffSource, aggregate_onoff_rates
 from repro.traffic.shuffle import external_shuffle, internal_shuffle, shuffle_trace
 from repro.traffic.spurious import (
@@ -50,6 +51,8 @@ __all__ = [
     "aggregate_onoff_rates",
     "mginf_rates",
     "mginf_mean_rate",
+    "MarkovModulatedSource",
+    "mmpp_rates",
     "external_shuffle",
     "internal_shuffle",
     "shuffle_trace",

@@ -12,12 +12,27 @@ Monte Carlo, solver vs Markov, solver vs the :mod:`repro.netsim` network
 simulator),
 :mod:`metamorphic relations <repro.verify.metamorphic>` (monotonicity,
 relabeling invariance, shuffle-beyond-horizon invariance, Hurst
-recovery), plus JSON failure-corpus persistence with greedy case
+recovery), the :mod:`matched-moment model comparison
+<repro.verify.matched>` (five competing families — fGn, FARIMA, on/off,
+M/G/∞, MMPP — realized at matched marginal + H and judged against the
+solver bracket, both as a fuzz oracle and as the ``repro compare``
+grid), plus JSON failure-corpus persistence with greedy case
 minimization and the ``repro fuzz`` CLI entry point.
 """
 
 from repro.verify.checks import CheckContext, CheckOutcome, VerifyCheck
 from repro.verify.corpus import FailureCorpus, FailureRecord, minimize_scenario
+from repro.verify.matched import (
+    FAMILY_TRAITS,
+    ComparisonReport,
+    ComparisonRow,
+    FamilyTraits,
+    MatchedModelsOracle,
+    matched_rate_source,
+    matched_single_queue,
+    run_model_comparison,
+    sample_family_trace,
+)
 from repro.verify.metamorphic import (
     BufferMonotonicityRelation,
     HurstRecoveryRelation,
@@ -41,7 +56,9 @@ from repro.verify.runner import (
     run_fuzz,
 )
 from repro.verify.scenario import (
+    FAMILIES,
     FUZZ_SOLVER_CONFIG,
+    MATCHED_FAMILIES,
     REGIMES,
     Scenario,
     ScenarioGenerator,
@@ -49,7 +66,10 @@ from repro.verify.scenario import (
 )
 
 __all__ = [
+    "FAMILIES",
+    "FAMILY_TRAITS",
     "FUZZ_SOLVER_CONFIG",
+    "MATCHED_FAMILIES",
     "REGIMES",
     "BatchedSoloOracle",
     "BoundOrderingOracle",
@@ -57,11 +77,15 @@ __all__ = [
     "CaseResult",
     "CheckContext",
     "CheckOutcome",
+    "ComparisonReport",
+    "ComparisonRow",
     "FailureCorpus",
     "FailureRecord",
+    "FamilyTraits",
     "FuzzReport",
     "HurstRecoveryRelation",
     "MarkovEquivalenceOracle",
+    "MatchedModelsOracle",
     "MonteCarloOracle",
     "NetSimSolverOracle",
     "RateRelabelInvarianceRelation",
@@ -72,8 +96,12 @@ __all__ = [
     "SpectralDirectOracle",
     "VerifyCheck",
     "default_checks",
+    "matched_rate_source",
+    "matched_single_queue",
     "minimize_scenario",
     "netsim_single_queue",
     "run_corpus",
     "run_fuzz",
+    "run_model_comparison",
+    "sample_family_trace",
 ]

@@ -85,6 +85,20 @@ class CheckContext:
         ``(topology, duration, warmup, seed) -> NetSimResult``; the
         network-simulator hook the netsim-vs-solver oracle replicates
         through.  The default runs :func:`repro.netsim.simulate` inline.
+    family_trace:
+        ``(scenario, duration, bin_width, rng) -> np.ndarray``; samples a
+        binned rate trace from the scenario's *generating family* at
+        matched moments.  The default dispatches ``family == "renewal"``
+        through the ``rate_trace`` hook (so renewal-family injections
+        keep working) and every other family through
+        :func:`~repro.verify.matched.sample_family_trace`.
+    family_source:
+        ``(scenario, family, duration, bin_width, seed) -> RateSource``;
+        builds the netsim arrival process of ``family`` at the
+        scenario's matched moments.  The
+        default is :func:`~repro.verify.matched.matched_rate_source`;
+        the matched-models injected-bug tests replace it with lying
+        samplers (wrong H, wrong marginal, swapped family).
     """
 
     def __init__(
@@ -93,12 +107,20 @@ class CheckContext:
         rate_trace: Callable[..., np.ndarray] | None = None,
         solve_batch: Callable[[Sequence[SolveTask]], list[LossRateResult]] | None = None,
         simulate_network: Callable[..., object] | None = None,
+        family_trace: Callable[..., np.ndarray] | None = None,
+        family_source: Callable[..., object] | None = None,
     ) -> None:
         self.solve = solve if solve is not None else _inline_solve
         self.rate_trace = rate_trace if rate_trace is not None else _sample_rate_trace
         self.solve_batch = solve_batch if solve_batch is not None else _inline_solve_batch
         self.simulate_network = (
             simulate_network if simulate_network is not None else _inline_simulate
+        )
+        self.family_trace = (
+            family_trace if family_trace is not None else self._dispatch_family_trace
+        )
+        self.family_source = (
+            family_source if family_source is not None else _matched_family_source
         )
 
     def solve_scenario(self, scenario: Scenario, **overrides: object) -> LossRateResult:
@@ -117,6 +139,19 @@ class CheckContext:
             config=overrides.get("config", scenario.config),  # type: ignore[arg-type]
         )
         return self.solve(task)
+
+    def _dispatch_family_trace(
+        self,
+        scenario: Scenario,
+        duration: float,
+        bin_width: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        if scenario.family == "renewal":
+            return self.rate_trace(scenario.source, duration, bin_width, rng)
+        from repro.verify.matched import sample_family_trace
+
+        return sample_family_trace(scenario, duration, bin_width, rng)
 
     def rng(self, scenario: Scenario, salt: int) -> np.random.Generator:
         """Deterministic per-(scenario, purpose) random stream.
@@ -141,6 +176,14 @@ def _inline_simulate(topology, duration: float, warmup: float, seed: int):
     from repro.netsim import simulate
 
     return simulate(topology, duration=duration, warmup=warmup, seed=seed)
+
+
+def _matched_family_source(
+    scenario: Scenario, family: str, duration: float, bin_width: float, seed: int
+):
+    from repro.verify.matched import matched_rate_source
+
+    return matched_rate_source(scenario, family, duration, bin_width, seed)
 
 
 def _sample_rate_trace(

@@ -18,14 +18,21 @@ for an exact oracle:
 * :class:`HurstRecoveryRelation` — the marginal/Hurst/cutoff coupling
   ``H = (3 - alpha) / 2``: traces generated at ``T_c = inf`` must hand
   the :mod:`repro.analysis` estimators back the Hurst parameter the
-  interarrival law was built from.
+  scenario's generating family was built to carry.  The relation is
+  family-aware: it samples through ``ctx.family_trace`` and consults
+  :data:`~repro.verify.matched.FAMILY_TRAITS` for the alpha band where
+  each family's traces support the estimators — families whose traits
+  declare no band (MMPP) are excluded *by declaration*, not by a
+  hardcoded name list.
 """
 
 from __future__ import annotations
 
 import math
+from dataclasses import replace
 
 from repro.verify.checks import CheckContext, CheckOutcome
+from repro.verify.matched import FAMILY_TRAITS
 from repro.verify.scenario import Scenario
 
 __all__ = [
@@ -239,12 +246,20 @@ class ShuffleInvarianceRelation:
 
 
 class HurstRecoveryRelation:
-    """Traces generated at ``T_c = inf`` must estimate back ``H = (3 - alpha)/2``.
+    """Family traces at ``T_c = inf`` must estimate back ``H = (3 - alpha)/2``.
 
     Averages the variance-time and R/S estimators; both are biased on
     finite traces, so the band is generous — but still narrow enough to
     catch a broken sampler or a broken estimator (white noise reads
     ``H ~ 0.5``, far outside the band for small alpha).
+
+    Which (family, alpha) pairs the relation claims is declared in
+    :data:`~repro.verify.matched.FAMILY_TRAITS`, not hardcoded here: the
+    estimator bias explodes at the alpha edges (near ``alpha = 2`` the
+    target H approaches 0.5 and both estimators read high), and a family
+    with ``hurst_alpha_band=None`` — MMPP, whose correlation is honestly
+    exponential beyond the phase ladder — is out of the relation's
+    domain entirely.
     """
 
     name = "hurst_recovery"
@@ -256,21 +271,22 @@ class HurstRecoveryRelation:
         self.tolerance = tolerance
 
     def applies(self, scenario: Scenario) -> bool:
+        band = FAMILY_TRAITS[scenario.family].hurst_alpha_band
+        if band is None:
+            return False
         law = scenario.source.interarrival
-        # Estimator bias explodes at the alpha edges (near alpha = 2 the
-        # target H approaches 0.5 and both estimators read high); the
-        # relation tests the mid-range mapping, the edges belong to the
-        # Hypothesis suite.
-        return 1.2 <= law.alpha <= 1.75 and scenario.source.rate_variance > 0.0
+        return band[0] <= law.alpha <= band[1] and scenario.source.rate_variance > 0.0
 
     def run(self, scenario: Scenario, ctx: CheckContext) -> CheckOutcome:
         from repro.analysis import rs_hurst, variance_time_hurst
 
         law = scenario.source.interarrival
-        untruncated = scenario.source.with_cutoff(math.inf)
-        bin_width = untruncated.mean_interval
+        untruncated = replace(
+            scenario, source=scenario.source.with_cutoff(math.inf)
+        )
+        bin_width = untruncated.source.mean_interval
         duration = self.trace_bins * bin_width
-        trace = ctx.rate_trace(
+        trace = ctx.family_trace(
             untruncated, duration, bin_width, ctx.rng(scenario, salt=4)
         )
         target = (3.0 - law.alpha) / 2.0

@@ -23,6 +23,7 @@ from pathlib import Path
 
 from repro.verify.checks import CheckContext, CheckOutcome, VerifyCheck
 from repro.verify.corpus import FailureCorpus, FailureRecord, minimize_scenario
+from repro.verify.matched import MatchedModelsOracle
 from repro.verify.metamorphic import (
     BufferMonotonicityRelation,
     HurstRecoveryRelation,
@@ -50,7 +51,7 @@ __all__ = [
 
 
 def default_checks() -> list[VerifyCheck]:
-    """The standard check battery (6 oracles + 5 metamorphic relations)."""
+    """The standard check battery (7 oracles + 5 metamorphic relations)."""
     return [
         SpectralDirectOracle(),
         BatchedSoloOracle(),
@@ -63,6 +64,7 @@ def default_checks() -> list[VerifyCheck]:
         NetSimSolverOracle(),
         ShuffleInvarianceRelation(),
         HurstRecoveryRelation(),
+        MatchedModelsOracle(),
     ]
 
 
@@ -97,6 +99,7 @@ class FuzzReport:
     seed: int = 0
     seconds: float = 0.0
     tallies: dict[str, CheckTally] = field(default_factory=dict)
+    family_tallies: dict[str, CheckTally] = field(default_factory=dict)
     failures: list[FailureRecord] = field(default_factory=list)
     corpus_paths: list[Path] = field(default_factory=list)
 
@@ -108,15 +111,39 @@ class FuzzReport:
     def ok(self) -> bool:
         return not self.failures
 
-    def record(self, outcome: CheckOutcome) -> None:
-        tally = self.tallies.setdefault(outcome.check, CheckTally())
-        tally.ran += 1
-        if outcome.skipped:
-            tally.skipped += 1
-        elif outcome.passed:
-            tally.passed += 1
-        else:
-            tally.failed += 1
+    def record(self, outcome: CheckOutcome, family: str | None = None) -> None:
+        tallies = [self.tallies.setdefault(outcome.check, CheckTally())]
+        if family is not None:
+            tallies.append(self.family_tallies.setdefault(family, CheckTally()))
+        for tally in tallies:
+            tally.ran += 1
+            if outcome.skipped:
+                tally.skipped += 1
+            elif outcome.passed:
+                tally.passed += 1
+            else:
+                tally.failed += 1
+
+    def family_report(self) -> dict:
+        """JSON-able per-family pass rates (the nightly CI artifact)."""
+        families = {}
+        for family in sorted(self.family_tallies):
+            tally = self.family_tallies[family]
+            judged = tally.passed + tally.failed
+            families[family] = {
+                "ran": tally.ran,
+                "passed": tally.passed,
+                "failed": tally.failed,
+                "skipped": tally.skipped,
+                "pass_rate": (tally.passed / judged) if judged else None,
+            }
+        return {
+            "cases": self.cases,
+            "seed": self.seed,
+            "seconds": round(self.seconds, 3),
+            "failures": self.total_failures,
+            "families": families,
+        }
 
     def summary(self) -> str:
         """Multi-line human-readable report."""
@@ -128,6 +155,12 @@ class FuzzReport:
             tally = self.tallies[name]
             lines.append(
                 f"  {name:<24} ran {tally.ran:>5}  passed {tally.passed:>5}  "
+                f"failed {tally.failed:>3}  skipped {tally.skipped:>4}"
+            )
+        for family in sorted(self.family_tallies):
+            tally = self.family_tallies[family]
+            lines.append(
+                f"  family={family:<17} ran {tally.ran:>5}  passed {tally.passed:>5}  "
                 f"failed {tally.failed:>3}  skipped {tally.skipped:>4}"
             )
         for record in self.failures:
@@ -253,7 +286,7 @@ def run_fuzz(
         index = start + offset
         case = _run_case(index, scenario, cheap, expensive, ctx)
         for outcome in case.outcomes:
-            report.record(outcome)
+            report.record(outcome, family=scenario.family)
         _handle_failures(case, checks_by_name, ctx, corpus, minimize, report)
         if progress is not None:
             progress(offset + 1, cases, case)  # type: ignore[operator]

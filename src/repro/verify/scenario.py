@@ -33,7 +33,9 @@ from repro.core.source import CutoffFluidSource
 from repro.core.truncated_pareto import TruncatedPareto
 
 __all__ = [
+    "FAMILIES",
     "FUZZ_SOLVER_CONFIG",
+    "MATCHED_FAMILIES",
     "REGIMES",
     "Scenario",
     "ScenarioGenerator",
@@ -64,6 +66,19 @@ REGIMES = (
 )
 """Stratification cells the generator cycles through (round-robin)."""
 
+MATCHED_FAMILIES = ("fgn", "farima", "onoff", "mginf", "mmpp")
+"""The five competing model families of the matched-moment comparison."""
+
+FAMILIES = ("renewal",) + MATCHED_FAMILIES
+"""Generating families the fuzz corpus stratifies over.
+
+``renewal`` is the paper's own cutoff fluid model (the solver's
+model-of-record); the other five are the competitors the model-comparison
+suite realizes at matched marginal + H.  The family tag never changes the
+solver-side coordinates of a scenario — it selects which generator the
+family-aware checks (``hurst_recovery``, ``matched_models``) sample traces
+from."""
+
 
 @dataclass(frozen=True)
 class Scenario:
@@ -84,6 +99,10 @@ class Scenario:
         trace sampling) must come from streams spawned off this value.
     regime:
         Name of the stratification cell that produced the case.
+    family:
+        Generating family of the case (one of :data:`FAMILIES`).  The
+        solver always works on ``source``; family-aware checks sample
+        traces/arrivals from this family's generator at matched moments.
     """
 
     source: CutoffFluidSource
@@ -92,6 +111,7 @@ class Scenario:
     config: SolverConfig
     seed: int
     regime: str
+    family: str = "renewal"
 
     def payload(self) -> dict:
         """Canonical JSON-able description (corpus persistence material)."""
@@ -103,6 +123,7 @@ class Scenario:
             "config": payload_of(self.config),
             "seed": int(self.seed),
             "regime": self.regime,
+            "family": self.family,
         }
 
     @classmethod
@@ -117,6 +138,7 @@ class Scenario:
             config=restore(payload["config"]),
             seed=int(payload["seed"]),
             regime=str(payload["regime"]),
+            family=str(payload.get("family", "renewal")),
         )
 
     def case_id(self) -> str:
@@ -128,7 +150,7 @@ class Scenario:
         law = self.source.interarrival
         cutoff = "inf" if law.cutoff == math.inf else f"{law.cutoff:g}"
         return (
-            f"[{self.regime}] alpha={law.alpha:.3f} theta={law.theta:g} "
+            f"[{self.regime}/{self.family}] alpha={law.alpha:.3f} theta={law.theta:g} "
             f"T_c={cutoff} levels={self.source.marginal.size} "
             f"util={self.utilization:.3f} buffer={self.normalized_buffer:g}s "
             f"seed={self.seed}"
@@ -173,16 +195,34 @@ class ScenarioGenerator:
     master :class:`numpy.random.SeedSequence`, so inserting or skipping
     cases never perturbs the others (the property minimization and corpus
     replay rely on).
+
+    Stratification is two-dimensional: case ``i`` lands in regime
+    ``i mod len(regimes)`` and family ``i mod len(families)``.  With the
+    default 7 regimes and 6 families (coprime) every regime x family
+    combination recurs every 42 cases.  The family assignment consumes no
+    random draws, so narrowing ``families`` never perturbs the sampled
+    coordinates of the cases that remain.
     """
 
-    def __init__(self, seed: int = 0, regimes: tuple[str, ...] = REGIMES) -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        regimes: tuple[str, ...] = REGIMES,
+        families: tuple[str, ...] = FAMILIES,
+    ) -> None:
         if not regimes:
             raise ValueError("regimes must not be empty")
         unknown = set(regimes) - set(REGIMES)
         if unknown:
             raise ValueError(f"unknown regimes: {sorted(unknown)}")
+        if not families:
+            raise ValueError("families must not be empty")
+        unknown_families = set(families) - set(FAMILIES)
+        if unknown_families:
+            raise ValueError(f"unknown families: {sorted(unknown_families)}")
         self.seed = int(seed)
         self.regimes = tuple(regimes)
+        self.families = tuple(families)
 
     def generate(self, index: int) -> Scenario:
         """Build scenario ``index`` of this stream."""
@@ -192,6 +232,7 @@ class ScenarioGenerator:
         rng = np.random.default_rng(child)
         case_seed = int(child.generate_state(1, dtype=np.uint64)[0] % (1 << 62))
         regime = self.regimes[index % len(self.regimes)]
+        family = self.families[index % len(self.families)]
         law = self._interarrival(regime, rng)
         marginal = self._marginal(regime, rng)
         source = CutoffFluidSource(marginal=marginal, interarrival=law)
@@ -212,6 +253,7 @@ class ScenarioGenerator:
             config=config,
             seed=case_seed,
             regime=regime,
+            family=family,
         )
 
     def take(self, count: int, start: int = 0) -> Iterator[Scenario]:

@@ -1,0 +1,233 @@
+"""The Experiment DSL: golden fingerprints and bit-identity with sweeps.
+
+Two guarantees matter here.  First, a committed spec must keep compiling
+to the exact same :class:`~repro.exec.task.SweepPlan` contents — the
+golden file pins every plan's fingerprint (axes plus per-task solve cache
+keys), so any accidental change to the DSL lowering *or* the ``plan_*``
+builders fails loudly.  Second, a DSL experiment and the equivalent
+hand-rolled ``sweep_*`` call must produce bit-identical surfaces through
+the engine — not approximately equal, ``np.array_equal``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.marginal import DiscreteMarginal
+from repro.core.solver import SolverConfig
+from repro.core.source import CutoffFluidSource
+from repro.core.truncated_pareto import TruncatedPareto
+from repro.experiments import (
+    Experiment,
+    plan_fingerprint,
+    sweep_buffer_cutoff,
+    sweep_cutoff,
+)
+
+GOLDEN = Path(__file__).parent / "golden" / "dsl_fingerprints.json"
+
+FAST = SolverConfig(
+    initial_bins=64, max_bins=512, relative_gap=0.5, max_iterations=5_000
+)
+
+
+def golden_source() -> CutoffFluidSource:
+    return CutoffFluidSource(
+        marginal=DiscreteMarginal(rates=[0.0, 2.0], probs=[0.5, 0.5]),
+        interarrival=TruncatedPareto(theta=0.05, alpha=1.4, cutoff=2.0),
+    )
+
+
+def golden_experiment() -> Experiment:
+    """The committed spec: three group shapes over one fixed source."""
+    e = Experiment("golden", "committed DSL spec the fingerprint file pins")
+    e.source = golden_source()
+    e.utilization = 0.9
+    e.config = FAST
+    e.seed = 7
+    with e.new_group("surface") as g:
+        g.buffers = [0.05, 0.2]
+        g.cutoffs = [0.5, 2.0]
+    with e.new_group("horizon") as g:
+        g.cutoffs = [0.25, 1.0, 4.0]
+        g.normalized_buffer = 0.1
+    with e.new_group("families") as g:
+        g.buffers = [0.1, 0.5]
+        g.families = ["fgn", "farima", "onoff", "mginf", "mmpp"]
+    return e
+
+
+# --------------------------------------------------------------------- #
+# golden fingerprints
+# --------------------------------------------------------------------- #
+
+
+def test_fingerprints_match_golden_file():
+    """The committed spec compiles to byte-stable plan fingerprints.
+
+    If this fails because of an *intentional* change to the DSL or the
+    plan builders, regenerate with::
+
+        PYTHONPATH=src python -c "
+        from tests.experiments.test_dsl import write_golden; write_golden()"
+    """
+    expected = json.loads(GOLDEN.read_text(encoding="utf-8"))
+    assert golden_experiment().fingerprints() == expected
+
+
+def write_golden() -> None:  # pragma: no cover - regeneration helper
+    GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN.write_text(
+        json.dumps(golden_experiment().fingerprints(), indent=2, sort_keys=True)
+        + "\n",
+        encoding="utf-8",
+    )
+
+
+def test_fingerprint_is_sensitive_to_the_grid():
+    base = golden_experiment().fingerprints()
+    changed = golden_experiment()
+    changed.groups[0].buffers = [0.05, 0.25]  # one knot moved
+    assert changed.fingerprints()["surface"] != base["surface"]
+    # ...but untouched groups keep their fingerprints.
+    assert changed.fingerprints()["horizon"] == base["horizon"]
+
+
+def test_fingerprint_is_insensitive_to_meta():
+    plan = golden_experiment().compile()["surface"]
+    relabeled = plan.__class__(
+        tasks=plan.tasks,
+        rows=plan.rows,
+        cols=plan.cols,
+        row_label=plan.row_label,
+        col_label=plan.col_label,
+        meta={**plan.meta, "note": "descriptive only"},
+    )
+    assert plan_fingerprint(relabeled) == plan_fingerprint(plan)
+
+
+# --------------------------------------------------------------------- #
+# bit-identity with the imperative sweeps
+# --------------------------------------------------------------------- #
+
+
+def test_dsl_surface_is_bit_identical_to_sweep():
+    source = golden_source()
+    e = Experiment("vs-sweep")
+    e.source = source
+    e.utilization = 0.9
+    e.config = FAST
+    with e.new_group("surface") as g:
+        g.buffers = [0.05, 0.2]
+        g.cutoffs = [0.5, 2.0]
+    surface = e.run()["surface"]
+    direct = sweep_buffer_cutoff(
+        source, 0.9, np.array([0.05, 0.2]), np.array([0.5, 2.0]), config=FAST
+    )
+    assert np.array_equal(surface.losses, direct.losses)
+    assert np.array_equal(surface.rows, direct.rows)
+    assert np.array_equal(surface.cols, direct.cols)
+    assert surface.row_label == direct.row_label
+
+
+def test_dsl_cutoff_grid_is_bit_identical_to_sweep(tmp_path):
+    source = golden_source()
+    e = Experiment("vs-cutoff")
+    e.source = source
+    e.utilization = 0.8
+    e.config = FAST
+    out = tmp_path / "horizon.npz"
+    with e.new_group("horizon") as g:
+        g.cutoffs = [0.25, 1.0]
+        g.normalized_buffer = 0.3
+        g.out = str(out)
+    surface = e.run()["horizon"]
+    direct = sweep_cutoff(source, 0.8, 0.3, np.array([0.25, 1.0]), config=FAST)
+    assert np.array_equal(surface.losses, direct.losses)
+    assert out.exists()  # `out` saves the surface
+
+
+# --------------------------------------------------------------------- #
+# validation and the comparison spec
+# --------------------------------------------------------------------- #
+
+
+def test_unsupported_axes_are_rejected():
+    e = Experiment("bad")
+    with pytest.raises(ValueError, match="supported combinations"):
+        with e.new_group("g") as g:
+            g.buffers = [0.1]
+            g.hursts = [0.8]
+
+
+def test_cutoff_grid_requires_a_buffer():
+    e = Experiment("bad")
+    with pytest.raises(ValueError, match="normalized_buffer"):
+        with e.new_group("g") as g:
+            g.cutoffs = [1.0]
+
+
+def test_unknown_family_is_rejected():
+    e = Experiment("bad")
+    with pytest.raises(ValueError, match="unknown families"):
+        with e.new_group("g") as g:
+            g.buffers = [0.1]
+            g.families = ["fgn", "poisson"]
+
+
+def test_unmatchable_moment_is_rejected():
+    e = Experiment("bad")
+    with pytest.raises(ValueError, match="cannot match"):
+        with e.new_group("g") as g:
+            g.buffers = [0.1]
+            g.families = ["fgn"]
+            g.matched = ("mean", "skewness")
+
+
+def test_duplicate_group_names_are_rejected():
+    e = Experiment("dup")
+    with e.new_group("g") as g:
+        g.cutoffs = [1.0]
+        g.normalized_buffer = 0.1
+    with pytest.raises(ValueError, match="duplicate"):
+        with e.new_group("g") as g:
+            g.cutoffs = [2.0]
+            g.normalized_buffer = 0.1
+
+
+def test_compile_requires_source_and_groups():
+    empty = Experiment("empty")
+    with pytest.raises(ValueError, match="no groups"):
+        empty.compile()
+    e = Experiment("no-source")
+    with e.new_group("g") as g:
+        g.cutoffs = [1.0]
+        g.normalized_buffer = 0.1
+    with pytest.raises(ValueError, match="source"):
+        e.compile()
+
+
+def test_comparison_spec_round_trips():
+    e = golden_experiment()
+    spec = e.comparison()
+    assert spec["source"] is e.source
+    assert spec["utilization"] == 0.9
+    assert spec["buffers"] == [0.1, 0.5]
+    assert spec["families"] == ("fgn", "farima", "onoff", "mginf", "mmpp")
+    assert spec["config"] is FAST
+    assert spec["seed"] == 7
+
+
+def test_comparison_requires_a_families_group():
+    e = Experiment("plain")
+    e.source = golden_source()
+    e.utilization = 0.9
+    with e.new_group("g") as g:
+        g.cutoffs = [1.0]
+        g.normalized_buffer = 0.1
+    with pytest.raises(ValueError, match="no comparison group"):
+        e.comparison()

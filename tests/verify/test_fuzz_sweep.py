@@ -38,6 +38,28 @@ class TestParser:
         )
         assert args.fuzz_checks == ["bound_ordering", "buffer_monotone"]
 
+    def test_fuzz_family_report_flag(self):
+        assert build_parser().parse_args(["fuzz"]).family_report is None
+        args = build_parser().parse_args(["fuzz", "--family-report", "fam.json"])
+        assert args.family_report == "fam.json"
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.hurst == 0.8
+        assert args.utilization == 0.9
+        assert args.buffers is None  # falls back to (0.1, 0.5)
+        assert args.families is None  # falls back to every matched family
+        assert args.batches == 4
+        assert args.seed == 0
+
+    def test_compare_flags_accumulate(self):
+        args = build_parser().parse_args(
+            ["compare", "--buffer", "0.1", "--buffer", "1.0",
+             "--family", "mmpp", "--family", "fgn"]
+        )
+        assert args.buffers == [0.1, 1.0]
+        assert args.families == ["mmpp", "fgn"]
+
 
 class TestCli:
     def test_list_checks(self, capsys):
@@ -65,6 +87,41 @@ class TestCli:
         assert code == 0
         assert "0 failure(s)" in capsys.readouterr().out
 
+    def test_family_report_artifact(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "families.json"
+        code = main(
+            ["fuzz", "--cases", "12", "--seed", "0", "--no-corpus",
+             "--family-report", str(out)]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert payload["cases"] == 12 and payload["failures"] == 0
+        # 12 cases over the 6-family rotation: every family ran twice.
+        assert set(payload["families"]) == {
+            "renewal", "fgn", "farima", "onoff", "mginf", "mmpp"
+        }
+        for tally in payload["families"].values():
+            assert tally["ran"] > 0
+            assert 0.0 <= tally["pass_rate"] <= 1.0
+
+    def test_unknown_compare_family_is_an_error(self, capsys):
+        assert main(["compare", "--family", "bogus", "--buffer", "0.1"]) == 2
+        assert "bogus" in capsys.readouterr().err
+
+    @pytest.mark.slow
+    def test_compare_command_renders_the_grid(self, capsys):
+        code = main(
+            ["compare", "--buffer", "0.1", "--family", "mmpp",
+             "--family", "fgn", "--batches", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "matched-model comparison" in out
+        assert "mmpp" in out and "fgn" in out
+        assert "diverged" in out
+
     @pytest.mark.fuzz
     def test_default_200_case_sweep_is_clean(self, capsys):
         # Acceptance criterion: `repro fuzz --cases 200 --seed 0` completes
@@ -86,8 +143,19 @@ class TestCli:
             "solver_vs_markov",
             "shuffle_beyond_horizon",
             "hurst_recovery",
+            "matched_models",
+            "netsim_vs_solver",
         ):
             line = next(ln for ln in out.splitlines() if ln.strip().startswith(name))
             assert "failed   0" in line
             passed = int(line.split("passed")[1].split()[0])
             assert passed > 0, f"{name} never judged a case:\n{out}"
+        # Stratification: all six generating families ran and none failed.
+        for family in ("renewal", "fgn", "farima", "onoff", "mginf", "mmpp"):
+            line = next(
+                ln for ln in out.splitlines()
+                if ln.strip().startswith(f"family={family}")
+            )
+            assert "failed   0" in line
+            ran = int(line.split("ran")[1].split()[0])
+            assert ran > 0, f"family {family} never ran:\n{out}"

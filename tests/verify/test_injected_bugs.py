@@ -16,8 +16,10 @@ from typing import Callable
 import numpy as np
 import pytest
 
+from repro.core.marginal import DiscreteMarginal
 from repro.core.results import LossRateResult
 from repro.core.source import CutoffFluidSource
+from repro.core.truncated_pareto import TruncatedPareto
 from repro.exec.task import SolveTask
 from repro.verify import (
     BatchedSoloOracle,
@@ -26,6 +28,7 @@ from repro.verify import (
     CheckContext,
     HurstRecoveryRelation,
     MarkovEquivalenceOracle,
+    MatchedModelsOracle,
     MonteCarloOracle,
     NetSimSolverOracle,
     RateRelabelInvarianceRelation,
@@ -33,6 +36,7 @@ from repro.verify import (
     ServiceMonotonicityRelation,
     ShuffleInvarianceRelation,
     SpectralDirectOracle,
+    matched_rate_source,
 )
 
 
@@ -171,6 +175,101 @@ def test_markov_oracle_fires_on_decade_scale_bias(lossy_scenario):
     assert_fires(check, lossy_scenario, ctx)
 
 
+def test_matched_models_fires_on_wrong_marginal_mmpp(lossy_scenario):
+    # A lying MMPP generator whose rates run 30 % hot: the marginal no
+    # longer matches the scenario's, the offered load inflates, and the
+    # exact-marginal confidence-band criterion must catch it.
+    from repro.netsim import TraceSource
+
+    scenario = replace(lossy_scenario, family="mmpp", normalized_buffer=1.0)
+    check = MatchedModelsOracle()
+    assert_honest_pass(check, scenario)
+
+    def hot_marginal(scen, family, duration, bin_width, seed):
+        honest = matched_rate_source(scen, family, duration, bin_width, seed)
+        return TraceSource.from_array(
+            np.asarray(honest.rates) * 1.3, honest.bin_width
+        )
+
+    assert_fires(check, scenario, CheckContext(family_source=hot_marginal))
+
+
+def test_matched_models_fires_on_wrong_hurst_ladder(lossy_scenario):
+    # A lying MMPP whose sojourn ladder runs 50x slow: it still reports
+    # the target Hurst parameter, but its generated correlation extends
+    # 50x beyond the declared horizon, so bursts persist across the
+    # buffer's time scale and the loss inflates past the bracket.
+    from repro.netsim import TraceSource
+    from repro.traffic import MarkovModulatedSource, mmpp_rates
+
+    scenario = replace(lossy_scenario, family="mmpp", normalized_buffer=1.0)
+    check = MatchedModelsOracle()
+    assert_honest_pass(check, scenario)
+
+    def slow_ladder(scen, family, duration, bin_width, seed):
+        honest = MarkovModulatedSource.from_source(scen.source)
+        lying = MarkovModulatedSource(
+            marginal=honest.marginal,
+            phase_weights=honest.phase_weights,
+            phase_rates=honest.phase_rates / 50.0,
+            target_hurst=honest.target_hurst,
+            horizon=honest.horizon,
+        )
+        rng = np.random.default_rng(seed)
+        rates = mmpp_rates(lying, duration, bin_width, rng)
+        return TraceSource.from_array(rates, bin_width)
+
+    assert_fires(check, scenario, CheckContext(family_source=slow_ladder))
+
+
+def test_matched_models_fires_on_family_swap(lossy_scenario):
+    # A dispatch bug that hands back the on/off surrogate when asked for
+    # MMPP.  On a marginal with a nonzero floor the two-moment on/off
+    # peak sits below the service rate, so the swapped trace loses
+    # nothing where the real family loses ~10^-1.
+    source = CutoffFluidSource(
+        marginal=DiscreteMarginal(rates=[2.0, 6.0], probs=[0.9, 0.1]),
+        interarrival=TruncatedPareto(theta=0.05, alpha=1.4, cutoff=2.0),
+    )
+    scenario = replace(
+        lossy_scenario, source=source, utilization=0.8, family="mmpp"
+    )
+    check = MatchedModelsOracle()
+    assert_honest_pass(check, scenario)
+
+    def swapped(scen, family, duration, bin_width, seed):
+        return matched_rate_source(scen, "onoff", duration, bin_width, seed)
+
+    assert_fires(check, scenario, CheckContext(family_source=swapped))
+
+
+def test_matched_models_tolerates_a_pure_hurst_swap(lossy_scenario):
+    # The control experiment — and the paper's own claim: replacing H
+    # alone, at a matched marginal and mean sojourn, moves the loss so
+    # little inside the horizon that the oracle keeps passing.  Only the
+    # time-scale distortions above are detectable.
+    from repro.netsim import TraceSource
+    from repro.traffic import MarkovModulatedSource, mmpp_rates
+
+    scenario = replace(lossy_scenario, family="mmpp", normalized_buffer=1.0)
+
+    def swapped_hurst(scen, family, duration, bin_width, seed):
+        model = MarkovModulatedSource.from_hurst(
+            scen.source.marginal,
+            hurst=0.52,
+            mean_interval=scen.source.mean_interval,
+            horizon=scen.source.cutoff,
+        )
+        rng = np.random.default_rng(seed)
+        rates = mmpp_rates(model, duration, bin_width, rng)
+        return TraceSource.from_array(rates, bin_width)
+
+    outcome = MatchedModelsOracle().run(
+        scenario, CheckContext(family_source=swapped_hurst)
+    )
+    assert not outcome.skipped and outcome.passed
+
+
 # --------------------------------------------------------------------- #
 # metamorphic relations
 # --------------------------------------------------------------------- #
@@ -267,6 +366,7 @@ def test_every_default_check_is_covered():
         "relabel_invariance",
         "shuffle_beyond_horizon",
         "hurst_recovery",
+        "matched_models",
     }
     assert {check.name for check in default_checks()} == covered
 

@@ -36,10 +36,10 @@ class StubCheck:
 
 def test_default_battery_shape():
     battery = default_checks()
-    assert len(battery) == 11
-    assert sum(1 for c in battery if c.kind == "oracle") == 6
+    assert len(battery) == 12
+    assert sum(1 for c in battery if c.kind == "oracle") == 7
     assert sum(1 for c in battery if c.kind == "metamorphic") == 5
-    assert sum(1 for c in battery if c.expensive) == 5
+    assert sum(1 for c in battery if c.expensive) == 6
 
 
 def test_cheap_checks_run_every_case_expensive_rotate():
